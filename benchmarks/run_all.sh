@@ -1,0 +1,6 @@
+#!/bin/bash
+# Final deliverable runs (artifacts must be cached first).
+set -x
+cd /root/repo
+python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt
+python -m pytest benchmarks/ --benchmark-only -s 2>&1 | tee /root/repo/bench_output.txt

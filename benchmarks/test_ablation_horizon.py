@@ -1,0 +1,40 @@
+"""Ablation: one-step vs multi-step prediction (paper Sec. III-A(2)).
+
+The paper chooses one-step prediction because "the accuracy of the
+predicted future trajectories decreases over time".  This benchmark
+quantifies that: the trained LST-GAT is rolled out recursively for 1-5
+steps and the per-horizon displacement error is reported.  The shape
+requirement is strict monotone error growth, with the one-step error a
+small fraction of the five-step error.
+"""
+
+from repro.eval import render_table
+from repro.perception import horizon_errors
+
+from _artifacts import prediction_samples, real_dataset, trained_predictor
+
+HORIZON = 5
+
+
+def test_ablation_prediction_horizon(benchmark):
+    model, _ = trained_predictor("LST-GAT")
+    _, test = prediction_samples()
+    test_set = real_dataset().split(0.8)[1]
+
+    def run():
+        return horizon_errors(model, test_set, test[:80], horizon=HORIZON)
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = {f"h={h} ({h * 0.5:.1f}s)": [d, v]
+            for h, d, v in zip(errors.horizons, errors.displacement,
+                               errors.velocity)}
+    print()
+    print(render_table("ABLATION: error growth over the prediction horizon",
+                       ["displacement(m)", "velocity(m/s)"], rows, precision=3))
+
+    # Strictly increasing displacement error over the horizon.
+    assert all(later > earlier for earlier, later
+               in zip(errors.displacement, errors.displacement[1:]))
+    # One-step prediction retains most of the accuracy the paper claims.
+    assert errors.displacement[0] < 0.5 * errors.displacement[-1]

@@ -1,0 +1,48 @@
+"""Table VI: efficiency of the PAMDP solvers (TCT / AvgIT).
+
+Regenerates the paper's training-time and per-decision inference-time
+comparison between P-QP, P-DDPG, P-DQN and BP-DQN.
+"""
+
+import time
+
+from repro.eval import render_table
+
+from _artifacts import RL_METHODS, trained_rl_agent
+
+
+def average_inference_ms(agent, env, steps: int = 200) -> float:
+    """Mean act() latency over live environment states."""
+    state = env.reset(901)
+    latencies = []
+    for _ in range(steps):
+        start = time.perf_counter()
+        action = agent.act(state, explore=False)
+        latencies.append(time.perf_counter() - start)
+        state, _, done, _ = env.step(action)
+        if done or state is None:
+            state = env.reset(902)
+    return sum(latencies) / len(latencies) * 1000.0
+
+
+def test_table6_rl_efficiency(benchmark):
+    artifacts = {name: trained_rl_agent(name) for name in RL_METHODS}
+
+    bp_agent, bp_env, _ = artifacts["BP-DQN"]
+    state = bp_env.reset(900)
+    benchmark.pedantic(lambda: bp_agent.act(state, explore=False),
+                       rounds=20, iterations=10)
+
+    rows = {}
+    for name, (agent, env, stats) in artifacts.items():
+        rows[name] = [stats["tct_seconds"], average_inference_ms(agent, env)]
+
+    print()
+    print(render_table("TABLE VI: Efficiency of Compared Methods and BP-DQN",
+                       ["TCT(s)", "AvgIT(ms)"], rows))
+
+    # Paper shape: all four have comparable per-decision latency (a few
+    # small network evaluations); BP-DQN must not be the slowest to act.
+    inference = {name: rows[name][1] for name in RL_METHODS}
+    assert inference["BP-DQN"] <= max(inference.values())
+    assert all(value < 100.0 for value in inference.values())

@@ -1,0 +1,98 @@
+"""Table VII: reward-coefficient grid search (w1..w4).
+
+The paper grid-searches the four hybrid-reward coefficients and reports
+the search ranges plus the best values (w1=0.9, w2=0.8, w3=0.6,
+w4=0.2).  A full 4-D grid is prohibitive without the paper's GPU
+cluster, so this bench performs the standard one-at-a-time sweep around
+the paper's optimum: each coefficient is varied over the paper's range
+while the others stay at their best values, a short training run scores
+each setting by its average evaluation reward, and the best value per
+coefficient is reported next to the paper's.
+"""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+
+from repro import HEAD
+from repro.decision import EpsilonSchedule, RewardWeights
+from repro.eval import render_table, reward_statistics
+
+from _artifacts import cache_dir, head_config, profile
+
+#: Paper Table VII: (min, max, step, paper best) per coefficient.
+SEARCH_SPACE = {
+    "w1": (0.5, 1.0, 0.1, 0.9),
+    "w2": (0.0, 1.0, 0.2, 0.8),
+    "w3": (0.0, 1.0, 0.2, 0.6),
+    "w4": (0.0, 0.5, 0.1, 0.2),
+}
+
+FIELD_OF = {"w1": "safety", "w2": "efficiency", "w3": "comfort", "w4": "impact"}
+
+#: One-at-a-time sweep: low end, paper best, high end of each range.
+def sweep_values(name: str) -> list[float]:
+    low, high, _, best = SEARCH_SPACE[name]
+    values = sorted({low, best, high})
+    return values
+
+
+def score_weights(weights: RewardWeights, seed: int) -> float:
+    """Train briefly with these weights and return the mean eval reward.
+
+    Evaluation always uses the *paper's* reward weights so settings are
+    compared on the same objective (otherwise larger coefficients would
+    trivially look better or worse).
+    """
+    episodes = profile().gridsearch_episodes
+    # The sweep isolates reward shaping: prediction is disabled so an
+    # untrained LST-GAT cannot inject noise into the comparison.
+    config = replace(head_config(), reward_weights=weights,
+                     training_episodes=episodes, use_prediction=False)
+    head = HEAD(config, rng=np.random.default_rng(seed))
+    head.agent.epsilon = EpsilonSchedule(decay_steps=episodes * 20)
+    head.train_decision(episodes=episodes)
+    scoring_env = HEAD(head_config(), rng=np.random.default_rng(0)).make_env()
+    scoring_env.perception = head.perception
+    stats = reward_statistics(head.controller(), scoring_env,
+                              seeds=range(400, 406))
+    return stats.avg_reward
+
+
+def test_table7_reward_shaping(benchmark):
+    cache = cache_dir() / "reward_sweep.json"
+
+    def run_sweep():
+        if cache.exists():
+            raw = json.loads(cache.read_text())
+            return {name: {float(value): score for value, score in scored.items()}
+                    for name, scored in raw.items()}
+        results: dict[str, dict[float, float]] = {}
+        for name in SEARCH_SPACE:
+            results[name] = {}
+            for value in sweep_values(name):
+                weights = replace(RewardWeights(), **{FIELD_OF[name]: value})
+                results[name][value] = score_weights(weights, seed=13)
+        cache.write_text(json.dumps(results))
+        return results
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = {}
+    for name, scored in results.items():
+        low, high, step, paper_best = SEARCH_SPACE[name]
+        ours_best = max(scored, key=scored.get)
+        rows[name] = [low, high, step, paper_best, ours_best]
+    print()
+    print(render_table(
+        "TABLE VII: Effect of Coefficients in Hybrid Reward Function",
+        ["Min", "Max", "Step", "PaperBest", "OursBest"], rows, precision=1))
+    for name, scored in results.items():
+        pretty = {value: round(score, 3) for value, score in scored.items()}
+        print(f"  {name} scores: {pretty}")
+
+    # Shape assertion: disabling safety or efficiency entirely must not be
+    # the best choice -- the hybrid reward needs both terms.
+    assert max(results["w2"], key=results["w2"].get) > 0.0
+    assert max(results["w1"], key=results["w1"].get) >= 0.5

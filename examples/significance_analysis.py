@@ -1,0 +1,60 @@
+"""Statistical confidence for scaled-down comparisons.
+
+Scaled CPU runs use few evaluation episodes, so "method A beat method B
+by 1.2 s" needs uncertainty bars.  This example compares IDM-LC and
+TP-BTS per-episode and reports paired-bootstrap confidence intervals
+for the difference in driving time and average speed -- the same
+methodology the benchmark suite's shape assertions rest on.
+
+Run:  python examples/significance_analysis.py
+"""
+
+import numpy as np
+
+from repro.decision import DrivingEnv, IDMLCPolicy, TPBTSPolicy
+from repro.eval import bootstrap_difference, bootstrap_mean, run_episode
+from repro.perception import EnhancedPerception
+from repro.sim import Road, constants
+
+
+def per_episode_metrics(controller, env, seeds):
+    """Driving-time and mean-speed series, one entry per seed."""
+    times, speeds = [], []
+    for seed in seeds:
+        result = run_episode(controller, env, seed)
+        velocity = float(np.mean([r.av_velocity for r in result.records]))
+        if result.finished:
+            times.append(result.steps * constants.DT)
+        else:
+            times.append(env.road.length / max(velocity, 0.1))
+        speeds.append(velocity)
+    return np.array(times), np.array(speeds)
+
+
+def main() -> None:
+    env = DrivingEnv(EnhancedPerception(predictor=None),
+                     road=Road(length=600.0), density_per_km=120,
+                     max_steps=200)
+    seeds = list(range(800, 824))
+    print(f"running {len(seeds)} paired episodes per method ...")
+    idm_time, idm_speed = per_episode_metrics(IDMLCPolicy(), env, seeds)
+    bts_time, bts_speed = per_episode_metrics(TPBTSPolicy(), env, seeds)
+
+    print("\nPer-method means with bootstrap 95% CIs:")
+    print(f"  IDM-LC driving time : {bootstrap_mean(idm_time)}")
+    print(f"  TP-BTS driving time : {bootstrap_mean(bts_time)}")
+    print(f"  IDM-LC mean speed   : {bootstrap_mean(idm_speed)}")
+    print(f"  TP-BTS mean speed   : {bootstrap_mean(bts_speed)}")
+
+    time_diff = bootstrap_difference(idm_time, bts_time)
+    speed_diff = bootstrap_difference(bts_speed, idm_speed)
+    print("\nPaired differences (positive favors TP-BTS):")
+    print(f"  driving time saved  : {time_diff}")
+    print(f"  speed gained        : {speed_diff}")
+    verdict = ("significant" if time_diff.low > 0 or time_diff.high < 0
+               else "not resolved at this sample size")
+    print(f"\nThe driving-time difference is {verdict}.")
+
+
+if __name__ == "__main__":
+    main()

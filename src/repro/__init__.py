@@ -1,0 +1,29 @@
+"""repro: a full reproduction of HEAD (ICDE 2023).
+
+"Impact-aware Maneuver Decision with Enhanced Perception for Autonomous
+Vehicle" -- an enhanced perception module (LST-GAT with phantom vehicle
+construction) feeding a maneuver decision module (BP-DQN over a
+parameterized-action MDP with a hybrid safety/efficiency/comfort/impact
+reward), evaluated in a microscopic traffic simulator.
+
+Quickstart::
+
+    import numpy as np
+    from repro import HEAD, HEADConfig
+    from repro.data import generate_real_dataset
+
+    head = HEAD(HEADConfig().scaled(), rng=np.random.default_rng(0))
+    head.train_perception(generate_real_dataset(seed=0, steps=150))
+    head.train_decision(episodes=40)
+    print(head.evaluate(seeds=range(10)))
+
+Subpackages: :mod:`repro.nn` (numpy autograd substrate),
+:mod:`repro.sim` (traffic simulator), :mod:`repro.perception`,
+:mod:`repro.decision`, :mod:`repro.data`, :mod:`repro.core`,
+:mod:`repro.eval`.
+"""
+
+from .core import HEAD, HEADConfig
+
+__version__ = "1.0.0"
+__all__ = ["HEAD", "HEADConfig", "__version__"]

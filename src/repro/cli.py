@@ -1,0 +1,168 @@
+"""Command-line interface for the HEAD reproduction.
+
+Subcommands cover the full experimental workflow::
+
+    python -m repro.cli generate-data --steps 300 --out real.npz
+    python -m repro.cli train --scale quick --out checkpoints/head
+    python -m repro.cli evaluate --checkpoint checkpoints/head --episodes 20
+    python -m repro.cli drive --checkpoint checkpoints/head --seed 7
+    python -m repro.cli info
+
+``drive`` replays one episode with an ASCII visualization of the
+traffic around the autonomous vehicle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import HEAD, HEADConfig, __version__
+from .data import generate_real_dataset
+from .decision import EpsilonSchedule, IDMLCPolicy
+from .eval import evaluate_controller, render_metric_table
+from .sim.render import render_window
+
+__all__ = ["main", "build_parser"]
+
+SCALES = {
+    "quick": lambda: HEADConfig().scaled(),
+    "medium": lambda: HEADConfig().scaled(road_length=1000.0, density_per_km=140,
+                                          training_episodes=400,
+                                          max_episode_steps=300,
+                                          attention_dim=64, lstm_dim=64,
+                                          hidden_dim=64),
+    "paper": HEADConfig.paper,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="HEAD (ICDE 2023) reproduction")
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate-data",
+                                   help="synthesize the REAL trajectory substitute")
+    generate.add_argument("--steps", type=int, default=300)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--density", type=float, default=170.0)
+    generate.add_argument("--out", default="real.npz")
+
+    train = commands.add_parser("train", help="train perception + decision")
+    train.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    train.add_argument("--episodes", type=int, default=None,
+                       help="override the decision-training episode count")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", default="checkpoints/head")
+
+    evaluate = commands.add_parser("evaluate", help="paper metrics on test episodes")
+    evaluate.add_argument("--checkpoint", default=None)
+    evaluate.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    evaluate.add_argument("--episodes", type=int, default=10)
+    evaluate.add_argument("--baseline", action="store_true",
+                          help="also evaluate IDM-LC for comparison")
+
+    drive = commands.add_parser("drive", help="replay one episode as ASCII art")
+    drive.add_argument("--checkpoint", default=None)
+    drive.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    drive.add_argument("--seed", type=int, default=7)
+    drive.add_argument("--steps", type=int, default=40)
+    drive.add_argument("--every", type=int, default=5,
+                       help="render every N-th step")
+
+    commands.add_parser("info", help="print configuration summary")
+    return parser
+
+
+def _make_head(scale: str, seed: int, checkpoint: str | None) -> HEAD:
+    head = HEAD(SCALES[scale](), rng=np.random.default_rng(seed))
+    head.agent.epsilon = EpsilonSchedule(decay_steps=4000)
+    if checkpoint:
+        head.load(checkpoint)
+    return head
+
+
+def cmd_generate_data(args: argparse.Namespace) -> int:
+    dataset = generate_real_dataset(seed=args.seed, steps=args.steps,
+                                    density_per_km=args.density)
+    path = dataset.save(args.out)
+    print(f"wrote {len(dataset)} snapshots "
+          f"({len(dataset.vehicle_ids())} vehicles) to {path}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    head = _make_head(args.scale, args.seed, checkpoint=None)
+    print("training LST-GAT ...")
+    trajectories = generate_real_dataset(seed=args.seed, steps=200)
+    perception = head.train_perception(trajectories, max_egos=6)
+    print(f"  final loss {perception.final_loss:.4f}")
+    episodes = args.episodes or head.config.training_episodes
+    print(f"training BP-DQN for {episodes} episodes ...")
+    decision = head.train_decision(episodes=episodes)
+    print(f"  collisions {decision.collisions}/{decision.episodes}, "
+          f"recent reward {decision.mean_recent_reward():.3f}")
+    path = head.save(args.out)
+    print(f"checkpoint saved to {path}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    head = _make_head(args.scale, 0, args.checkpoint)
+    seeds = range(500, 500 + args.episodes)
+    reports = {"HEAD": head.evaluate(seeds=seeds)}
+    if args.baseline:
+        reports["IDM-LC"] = evaluate_controller(IDMLCPolicy(), head.make_env(), seeds)
+    print(render_metric_table("Evaluation", reports))
+    print("collisions:", {name: report.collisions
+                          for name, report in reports.items()})
+    return 0
+
+
+def cmd_drive(args: argparse.Namespace) -> int:
+    head = _make_head(args.scale, 0, args.checkpoint)
+    env = head.make_env()
+    state = env.reset(args.seed)
+    for step in range(args.steps):
+        action = head.agent.act(state, explore=False)
+        state, breakdown, done, _ = env.step(action)
+        if step % args.every == 0 and env.av is not None:
+            print(render_window(env.engine, env.AV_ID))
+            print(f"  action: {action.behavior.name} a={action.accel:+.2f}  "
+                  f"reward {breakdown.total:+.3f}\n")
+        if done or state is None:
+            print(f"episode ended at step {step + 1}: "
+                  f"finished={env.result.finished} collided={env.result.collided}")
+            break
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} -- HEAD (ICDE 2023) reproduction")
+    for name, factory in SCALES.items():
+        config = factory()
+        print(f"  scale {name:>6}: road {config.road_length:.0f} m, "
+              f"{config.density_per_km:.0f} veh/km, "
+              f"{config.training_episodes} training episodes")
+    return 0
+
+
+COMMANDS = {
+    "generate-data": cmd_generate_data,
+    "train": cmd_train,
+    "evaluate": cmd_evaluate,
+    "drive": cmd_drive,
+    "info": cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""The HEAD framework: configuration, facade, and ablation variants."""
+
+from .config import HEADConfig
+from .head import HEAD
+from .variants import (full_head, head_without_pvc, head_without_lstgat,
+                       head_without_bpdqn, head_without_impact, ALL_VARIANTS)
+
+__all__ = [
+    "HEADConfig", "HEAD",
+    "full_head", "head_without_pvc", "head_without_lstgat",
+    "head_without_bpdqn", "head_without_impact", "ALL_VARIANTS",
+]

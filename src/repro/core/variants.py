@@ -1,0 +1,63 @@
+"""HEAD ablation variants (paper Table II).
+
+Each factory removes exactly one component:
+
+* **HEAD-w/o-PVC** -- no phantom vehicle construction; unobservable
+  slots are zero-padded.
+* **HEAD-w/o-LST-GAT** -- no state prediction; the future half of the
+  augmented state is zeros, decisions use current observations only.
+* **HEAD-w/o-BP-DQN** -- the branched networks are replaced by the
+  vanilla single-branch P-DQN.
+* **HEAD-w/o-IMP** -- the impact reward term is removed (w4 = 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from .config import HEADConfig
+from .head import HEAD
+
+__all__ = ["full_head", "head_without_pvc", "head_without_lstgat",
+           "head_without_bpdqn", "head_without_impact", "ALL_VARIANTS"]
+
+
+def full_head(config: HEADConfig, rng: np.random.Generator) -> HEAD:
+    """The complete framework."""
+    return HEAD(config, rng=rng, name="HEAD")
+
+
+def head_without_pvc(config: HEADConfig, rng: np.random.Generator) -> HEAD:
+    """Table II row 1: zero states instead of phantom vehicles."""
+    return HEAD(replace(config, use_phantoms=False), rng=rng, name="HEAD-w/o-PVC")
+
+
+def head_without_lstgat(config: HEADConfig, rng: np.random.Generator) -> HEAD:
+    """Table II row 2: no future-state prediction."""
+    return HEAD(replace(config, use_prediction=False), rng=rng,
+                name="HEAD-w/o-LST-GAT")
+
+
+def head_without_bpdqn(config: HEADConfig, rng: np.random.Generator) -> HEAD:
+    """Table II row 3: vanilla P-DQN instead of the branched networks."""
+    return HEAD(replace(config, branched_networks=False), rng=rng,
+                name="HEAD-w/o-BP-DQN")
+
+
+def head_without_impact(config: HEADConfig, rng: np.random.Generator) -> HEAD:
+    """Table II row 4: drop the impact reward term."""
+    weights = replace(config.reward_weights, impact=0.0)
+    return HEAD(replace(config, reward_weights=weights), rng=rng,
+                name="HEAD-w/o-IMP")
+
+
+#: All Table II rows plus the full framework, in paper order.
+ALL_VARIANTS = {
+    "HEAD-w/o-PVC": head_without_pvc,
+    "HEAD-w/o-LST-GAT": head_without_lstgat,
+    "HEAD-w/o-BP-DQN": head_without_bpdqn,
+    "HEAD-w/o-IMP": head_without_impact,
+    "HEAD": full_head,
+}

@@ -1,0 +1,11 @@
+"""Trajectory data: recording, persistence, and the REAL dataset substitute."""
+
+from .trajectories import (
+    Snapshot, TrajectorySet, record_trajectories, generate_real_dataset,
+    REAL_SEGMENT_LENGTH,
+)
+
+__all__ = [
+    "Snapshot", "TrajectorySet", "record_trajectories", "generate_real_dataset",
+    "REAL_SEGMENT_LENGTH",
+]

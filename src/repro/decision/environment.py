@@ -1,0 +1,231 @@
+"""RL driving environment: engine + perception + reward behind a gym-like API.
+
+One environment instance owns a simulated episode: the autonomous
+vehicle starts at the road origin among dense conventional traffic and
+drives until it finishes the road, collides, or times out.  Every
+``step`` applies a parameterized action (Eq. 17), advances the world by
+0.5 s (Eq. 18), and returns the next augmented state (Eqs. 15-16), the
+hybrid reward (Eq. 28), and a :class:`StepRecord` with the raw
+quantities the evaluation metrics aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..perception.module import EnhancedPerception, PerceptionFrame
+from ..sim import constants
+from ..sim.engine import SimulationEngine
+from ..sim.road import Road
+from ..sim.spawn import build_episode
+from ..sim.vehicle import Vehicle
+from .pamdp import AugmentedState, ParameterizedAction, build_augmented_state
+from .reward import HybridReward, RewardBreakdown, StepOutcome
+
+__all__ = ["StepRecord", "EpisodeResult", "DrivingEnv"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Raw observations of one executed step (consumed by repro.eval)."""
+
+    step: int
+    av_velocity: float
+    av_accel: float
+    av_jerk: float
+    ttc: float | None
+    rear_velocity_drop: float | None
+    impact_event: bool
+    collided: bool
+    reward: RewardBreakdown
+    trailing_ids: tuple[str, ...]
+    trailing_mean_velocity: float | None
+
+
+@dataclass
+class EpisodeResult:
+    """Everything recorded over one episode."""
+
+    records: list[StepRecord] = field(default_factory=list)
+    finished: bool = False
+    collided: bool = False
+    steps: int = 0
+
+    @property
+    def total_reward(self) -> float:
+        return sum(record.reward.total for record in self.records)
+
+    @property
+    def mean_reward(self) -> float:
+        return self.total_reward / max(len(self.records), 1)
+
+
+class DrivingEnv:
+    """Gym-style driving environment solving the paper's PAMDP.
+
+    Parameters
+    ----------
+    perception:
+        The enhanced perception module (or an ablated variant).
+    reward:
+        Hybrid reward function.
+    road / density_per_km:
+        Episode geometry and traffic volume.
+    max_steps:
+        Hard episode cap (guards against stalled policies).
+    """
+
+    AV_ID = "av"
+
+    def __init__(self, perception: EnhancedPerception,
+                 reward: HybridReward | None = None,
+                 road: Road | None = None,
+                 density_per_km: float = constants.DENSITY_PER_KM,
+                 max_steps: int = 2000) -> None:
+        self.perception = perception
+        self.reward = reward or HybridReward()
+        self.road = road or Road()
+        self.density_per_km = density_per_km
+        self.max_steps = max_steps
+        self.engine: SimulationEngine | None = None
+        self.result = EpisodeResult()
+        self._frame: PerceptionFrame | None = None
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # episode control
+    # ------------------------------------------------------------------
+    def reset(self, seed: int) -> AugmentedState:
+        """Start a fresh seeded episode and return the initial state."""
+        self.engine, _ = build_episode(seed, road=self.road,
+                                       density_per_km=self.density_per_km)
+        self.perception.reset()
+        self.result = EpisodeResult()
+        self._steps = 0
+        self._frame = self.perception.perceive(self.engine, self.AV_ID)
+        return build_augmented_state(self._frame)
+
+    @property
+    def av(self) -> Vehicle | None:
+        if self.engine is None:
+            return None
+        return self.engine.vehicles.get(self.AV_ID)
+
+    @property
+    def frame(self) -> PerceptionFrame | None:
+        """The most recent perception frame (for policies that need it)."""
+        return self._frame
+
+    def done(self) -> bool:
+        return (self.result.finished or self.result.collided
+                or self._steps >= self.max_steps)
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self, action: ParameterizedAction
+             ) -> tuple[AugmentedState | None, RewardBreakdown, bool, StepRecord]:
+        """Apply one parameterized action and advance the world by 0.5 s."""
+        if self.engine is None:
+            raise RuntimeError("call reset() before step()")
+        if self.done():
+            raise RuntimeError("episode is over; call reset()")
+        engine = self.engine
+        av = engine.get(self.AV_ID)
+
+        rear_before = engine.follower_of(av)
+        rear_id = rear_before.vid if rear_before is not None else None
+        rear_v_before = rear_before.v if rear_before is not None else None
+        accel_prev = av.accel
+
+        engine.set_maneuver(self.AV_ID, action.lane_delta, action.accel)
+        events = engine.step()
+        self._steps += 1
+
+        collided = any(event.vehicle_id == self.AV_ID or event.other_id == self.AV_ID
+                       for event in events)
+        finished = self.AV_ID not in engine.vehicles and not collided
+
+        av_after = engine.vehicles.get(self.AV_ID) or engine.retired.get(self.AV_ID)
+        outcome = self._build_outcome(av_after, collided, action.accel, accel_prev,
+                                      rear_id, rear_v_before)
+        breakdown = self.reward.compute(outcome)
+        record = self._record(av_after, outcome, breakdown, collided)
+        self.result.records.append(record)
+        self.result.steps = self._steps
+        self.result.collided = collided
+        self.result.finished = finished
+
+        done = collided or finished or self._steps >= self.max_steps
+        next_state: AugmentedState | None = None
+        if not done:
+            self._frame = self.perception.perceive(engine, self.AV_ID)
+            next_state = build_augmented_state(self._frame)
+        return next_state, breakdown, done, record
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _build_outcome(self, av: Vehicle, collided: bool, accel: float,
+                       accel_prev: float, rear_id: str | None,
+                       rear_v_before: float | None) -> StepOutcome:
+        engine = self.engine
+        front_gap = None
+        closing = None
+        if av is not None and av.vid in engine.vehicles:
+            front = engine.leader_of(av)
+            if front is not None and front.lon - av.lon <= self.perception.sensor.detection_range:
+                front_gap = av.gap_to(front)
+                closing = av.v - front.v
+        rear_v_next = None
+        if rear_id is not None:
+            rear_after = engine.vehicles.get(rear_id) or engine.retired.get(rear_id)
+            if rear_after is not None:
+                rear_v_next = rear_after.v
+        return StepOutcome(
+            collided=collided,
+            ego_velocity_next=av.v if av is not None else 0.0,
+            ego_accel=accel,
+            ego_accel_prev=accel_prev,
+            front_gap_next=front_gap,
+            front_closing_speed=closing,
+            rear_velocity_now=rear_v_before,
+            rear_velocity_next=rear_v_next,
+        )
+
+    def _record(self, av: Vehicle, outcome: StepOutcome,
+                breakdown: RewardBreakdown, collided: bool) -> StepRecord:
+        engine = self.engine
+        ttc = None
+        if (outcome.front_gap_next is not None and outcome.front_closing_speed is not None
+                and outcome.front_closing_speed > 0.0 and outcome.front_gap_next > 0.0):
+            ttc = outcome.front_gap_next / outcome.front_closing_speed
+        rear_drop = None
+        impact_event = False
+        if outcome.rear_velocity_now is not None and outcome.rear_velocity_next is not None:
+            rear_drop = outcome.rear_velocity_now - outcome.rear_velocity_next
+            impact_event = rear_drop > self.reward.velocity_threshold
+
+        trailing: list[str] = []
+        velocities: list[float] = []
+        if av is not None and av.vid in engine.vehicles:
+            for vehicle in engine.vehicles.values():
+                behind = av.lon - vehicle.lon
+                if vehicle.vid != av.vid and 0.0 < behind <= 100.0:
+                    trailing.append(vehicle.vid)
+                    velocities.append(vehicle.v)
+        return StepRecord(
+            step=self._steps,
+            av_velocity=av.v if av is not None else 0.0,
+            av_accel=outcome.ego_accel,
+            av_jerk=abs(outcome.ego_accel - outcome.ego_accel_prev),
+            ttc=ttc,
+            rear_velocity_drop=rear_drop,
+            impact_event=impact_event,
+            collided=collided,
+            reward=breakdown,
+            trailing_ids=tuple(sorted(trailing)),
+            trailing_mean_velocity=float(np.mean(velocities)) if velocities else None,
+        )

@@ -1,0 +1,137 @@
+"""x- and Q-network structures for the P-DQN family (paper Section IV-B).
+
+Two structural variants share the same optimization paradigm:
+
+* **Branched (BP-DQN, Fig. 6)** -- the paper's contribution: the current
+  states h^t, the future states f^{t+1}, and (for Q) the acceleration
+  vector x_out are processed in *separate* computational branches
+  (Eqs. 24-27), avoiding erroneous weight sharing between inputs of
+  different scales.
+* **Single-branch (vanilla P-DQN)** -- everything is flattened into one
+  vector and pushed through a shared MLP, the structure the paper
+  improves upon.
+
+Both expose the same interface:
+
+* ``x_net(current, future) -> (B, 3)`` accelerations, one per lane
+  behavior, bounded to [-a', a'] by ``a' * tanh`` (Eq. 25);
+* ``q_net(current, future, accels) -> (B, 3)`` Q-values, one per lane
+  behavior paired with its acceleration (Eq. 27).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..sim import constants
+from .pamdp import CURRENT_SHAPE, FUTURE_SHAPE
+
+__all__ = ["BranchEncoder", "BranchedXNetwork", "BranchedQNetwork",
+           "VanillaXNetwork", "VanillaQNetwork", "NUM_BEHAVIORS"]
+
+#: Three lane behaviors: ll, lr, lk.
+NUM_BEHAVIORS = 3
+
+_FLAT_STATE = CURRENT_SHAPE[0] * CURRENT_SHAPE[1] + FUTURE_SHAPE[0] * FUTURE_SHAPE[1]
+
+
+class BranchEncoder(nn.Module):
+    """Per-vehicle scalar reduction of Eqs. 24/26.
+
+    Applies a shared two-layer ReLU map to each vehicle row, producing
+    one scalar per vehicle: ``(B, N, 4) -> (B, N)``.
+    """
+
+    def __init__(self, in_features: int, hidden_dim: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.lift = nn.Linear(in_features, hidden_dim, rng=rng)
+        self.reduce = nn.Linear(hidden_dim, 1, rng=rng)
+
+    def forward(self, rows: nn.Tensor) -> nn.Tensor:
+        batch, vehicles = rows.shape[0], rows.shape[1]
+        hidden = self.lift(rows).relu()
+        return self.reduce(hidden).relu().reshape(batch, vehicles)
+
+
+class BranchedXNetwork(nn.Module):
+    """BP-DQN deterministic policy network x (Eqs. 24-25)."""
+
+    def __init__(self, hidden_dim: int = 64,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.current_branch = BranchEncoder(CURRENT_SHAPE[1], hidden_dim, rng)
+        self.future_branch = BranchEncoder(FUTURE_SHAPE[1], hidden_dim, rng)
+        merged = CURRENT_SHAPE[0] + FUTURE_SHAPE[0]  # 7 + 6 = 13
+        self.merge = nn.Linear(merged, NUM_BEHAVIORS, rng=rng)
+
+    def forward(self, current: nn.Tensor, future: nn.Tensor) -> nn.Tensor:
+        h = self.current_branch(current)              # (B, 7)
+        f = self.future_branch(future)                # (B, 6)
+        merged = nn.concat([h, f], axis=1)            # (B, 13)
+        return self.merge(merged).tanh() * constants.A_MAX
+
+
+class BranchedQNetwork(nn.Module):
+    """BP-DQN value network Q (Eqs. 26-27)."""
+
+    def __init__(self, hidden_dim: int = 64,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.current_branch = BranchEncoder(CURRENT_SHAPE[1], hidden_dim, rng)
+        self.future_branch = BranchEncoder(FUTURE_SHAPE[1], hidden_dim, rng)
+        self.accel_lift = nn.Linear(NUM_BEHAVIORS, hidden_dim, rng=rng)
+        self.accel_reduce = nn.Linear(hidden_dim, NUM_BEHAVIORS, rng=rng)
+        merged = CURRENT_SHAPE[0] + FUTURE_SHAPE[0] + NUM_BEHAVIORS  # 16
+        self.merge = nn.Linear(merged, NUM_BEHAVIORS, rng=rng)
+
+    def forward(self, current: nn.Tensor, future: nn.Tensor,
+                accels: nn.Tensor) -> nn.Tensor:
+        h = self.current_branch(current)                         # (B, 7)
+        f = self.future_branch(future)                           # (B, 6)
+        x = self.accel_reduce(self.accel_lift(accels / constants.A_MAX).relu()).relu()
+        merged = nn.concat([h, f, x], axis=1)                    # (B, 16)
+        return self.merge(merged)                                # (B, 3)
+
+
+class VanillaXNetwork(nn.Module):
+    """Single-branch P-DQN policy: flatten everything, shared MLP."""
+
+    def __init__(self, hidden_dim: int = 64,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.net = nn.MLP([_FLAT_STATE, hidden_dim, hidden_dim, NUM_BEHAVIORS], rng=rng)
+
+    def forward(self, current: nn.Tensor, future: nn.Tensor) -> nn.Tensor:
+        flat = _flatten_state(current, future)
+        return self.net(flat).tanh() * constants.A_MAX
+
+
+class VanillaQNetwork(nn.Module):
+    """Single-branch P-DQN value net: state and accels share one MLP."""
+
+    def __init__(self, hidden_dim: int = 64,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.net = nn.MLP([_FLAT_STATE + NUM_BEHAVIORS, hidden_dim, hidden_dim,
+                           NUM_BEHAVIORS], rng=rng)
+
+    def forward(self, current: nn.Tensor, future: nn.Tensor,
+                accels: nn.Tensor) -> nn.Tensor:
+        flat = _flatten_state(current, future)
+        # Wrong weight sharing by design: raw accelerations concatenated
+        # straight onto state features of a different scale.
+        return self.net(nn.concat([flat, accels / constants.A_MAX], axis=1))
+
+
+def _flatten_state(current: nn.Tensor, future: nn.Tensor) -> nn.Tensor:
+    batch = current.shape[0]
+    return nn.concat([
+        current.reshape(batch, CURRENT_SHAPE[0] * CURRENT_SHAPE[1]),
+        future.reshape(batch, FUTURE_SHAPE[0] * FUTURE_SHAPE[1]),
+    ], axis=1)

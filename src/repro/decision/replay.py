@@ -1,0 +1,113 @@
+"""Experience replay buffer for the PAMDP agents.
+
+Stores transitions as pre-allocated numpy arrays (the paper uses a
+20,000-transition buffer) and samples uniform mini-batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .pamdp import AugmentedState, CURRENT_SHAPE, FUTURE_SHAPE
+
+__all__ = ["Transition", "Batch", "ReplayBuffer"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, b, a, r, s', done) tuple in PAMDP form."""
+
+    state: AugmentedState
+    behavior: int
+    accel: float
+    reward: float
+    next_state: AugmentedState | None   # None at terminal
+    done: bool
+    aux: np.ndarray | None = None       # agent-specific payload, width <= 6
+                                        # (P-DQN family: the full x_out; P-DDPG:
+                                        # the collapsed 6-dim action vector)
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A sampled mini-batch in array form (all float64)."""
+
+    current: np.ndarray       # (B, 7, 4)
+    future: np.ndarray        # (B, 6, 4)
+    behavior: np.ndarray      # (B,) int
+    accel: np.ndarray         # (B,)
+    reward: np.ndarray        # (B,)
+    next_current: np.ndarray  # (B, 7, 4)
+    next_future: np.ndarray   # (B, 6, 4)
+    done: np.ndarray          # (B,) float 0/1
+    aux: np.ndarray           # (B, 6) agent-specific payload
+
+    def __len__(self) -> int:
+        return len(self.reward)
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer with uniform sampling."""
+
+    def __init__(self, capacity: int = 20_000,
+                 rng: np.random.Generator | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.rng = rng or np.random.default_rng()
+        self._current = np.zeros((capacity, *CURRENT_SHAPE))
+        self._future = np.zeros((capacity, *FUTURE_SHAPE))
+        self._behavior = np.zeros(capacity, dtype=np.int64)
+        self._accel = np.zeros(capacity)
+        self._reward = np.zeros(capacity)
+        self._next_current = np.zeros((capacity, *CURRENT_SHAPE))
+        self._next_future = np.zeros((capacity, *FUTURE_SHAPE))
+        self._done = np.zeros(capacity)
+        self._aux = np.zeros((capacity, 6))
+        self._size = 0
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, transition: Transition) -> None:
+        """Insert one transition, overwriting the oldest when full."""
+        index = self._cursor
+        self._current[index] = transition.state.current
+        self._future[index] = transition.state.future
+        self._behavior[index] = transition.behavior
+        self._accel[index] = transition.accel
+        self._reward[index] = transition.reward
+        if transition.next_state is not None:
+            self._next_current[index] = transition.next_state.current
+            self._next_future[index] = transition.next_state.future
+        else:
+            self._next_current[index] = 0.0
+            self._next_future[index] = 0.0
+        self._done[index] = 1.0 if transition.done else 0.0
+        self._aux[index] = 0.0
+        if transition.aux is not None:
+            payload = np.asarray(transition.aux, dtype=np.float64).reshape(-1)
+            self._aux[index, :payload.size] = payload
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> Batch:
+        """Uniformly sample a mini-batch (with replacement when small)."""
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        replace = self._size < batch_size
+        indices = self.rng.choice(self._size, size=batch_size, replace=replace)
+        return Batch(
+            current=self._current[indices],
+            future=self._future[indices],
+            behavior=self._behavior[indices],
+            accel=self._accel[indices],
+            reward=self._reward[indices],
+            next_current=self._next_current[indices],
+            next_future=self._next_future[indices],
+            done=self._done[indices],
+            aux=self._aux[indices],
+        )

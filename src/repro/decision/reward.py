@@ -1,0 +1,142 @@
+"""Hybrid reward function (paper Section IV-C, Eqs. 28-30).
+
+Four terms, each bounded, combined with tunable coefficients:
+
+* **safety** r1 in [-3, 0]: log-scaled time-to-collision against the
+  front vehicle, -3 on any collision (Eq. 29);
+* **efficiency** r2 in [0, 1]: normalized ego velocity;
+* **comfort** r3 in [-1, 0]: negative normalized jerk;
+* **impact** r4 in [-1, 0]: penalizes forcing the rear conventional
+  vehicle to decelerate by more than v_thr in one step (Eq. 30).
+
+Terms referencing a phantom front/rear vehicle are masked, exactly as
+the paper specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from ..sim import constants
+
+__all__ = ["RewardWeights", "StepOutcome", "RewardBreakdown", "HybridReward"]
+
+
+@dataclass(frozen=True)
+class RewardWeights:
+    """Coefficients w1..w4; defaults are the paper's grid-search optimum."""
+
+    safety: float = 0.9
+    efficiency: float = 0.8
+    comfort: float = 0.6
+    impact: float = 0.2
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Ground observations needed to score one executed action.
+
+    All fields describe the transition from step t to t+1.
+    """
+
+    collided: bool
+    ego_velocity_next: float          # A^{t+1}.v
+    ego_accel: float                  # A^t.a
+    ego_accel_prev: float             # A^{t-1}.a
+    front_gap_next: float | None      # d_lon bumper gap to C_2 at t+1 (None if absent/phantom)
+    front_closing_speed: float | None  # -(C_2^{t+1}.v - A^{t+1}.v); positive means closing
+    rear_velocity_now: float | None   # C_5^t.v (None if absent/phantom)
+    rear_velocity_next: float | None  # C_5^{t+1}.v
+
+
+@dataclass(frozen=True)
+class RewardBreakdown:
+    """Per-term values plus the weighted total."""
+
+    safety: float
+    efficiency: float
+    comfort: float
+    impact: float
+    total: float
+
+
+class HybridReward:
+    """Eq. 28 hybrid reward with the paper's term definitions.
+
+    Parameters
+    ----------
+    weights:
+        Term coefficients (defaults: w1=0.9, w2=0.8, w3=0.6, w4=0.2).
+    ttc_threshold:
+        The scaling threshold G of Eq. 29 (paper: 4 s).
+    velocity_threshold:
+        v_thr of Eq. 30 (paper: 0.5 m/s).
+    """
+
+    def __init__(self, weights: RewardWeights | None = None,
+                 ttc_threshold: float = 4.0,
+                 velocity_threshold: float = 0.5,
+                 v_min: float = constants.V_MIN,
+                 v_max: float = constants.V_MAX,
+                 a_max: float = constants.A_MAX,
+                 dt: float = constants.DT) -> None:
+        self.weights = weights or RewardWeights()
+        self.ttc_threshold = ttc_threshold
+        self.velocity_threshold = velocity_threshold
+        self.v_min = v_min
+        self.v_max = v_max
+        self.a_max = a_max
+        self.dt = dt
+
+    # ------------------------------------------------------------------
+    # individual terms
+    # ------------------------------------------------------------------
+    def safety(self, outcome: StepOutcome) -> float:
+        """Eq. 29: log-scaled TTC, clipped to [-3, 0]; -3 on collision."""
+        if outcome.collided:
+            return -3.0
+        if outcome.front_gap_next is None or outcome.front_closing_speed is None:
+            return 0.0
+        if outcome.front_closing_speed <= 0.0:
+            return 0.0  # opening gap: TTC undefined/infinite
+        ttc = outcome.front_gap_next / outcome.front_closing_speed
+        if ttc >= self.ttc_threshold:
+            return 0.0
+        if ttc <= 0.0:
+            return -3.0
+        return max(-3.0, math.log(ttc / self.ttc_threshold))
+
+    def efficiency(self, outcome: StepOutcome) -> float:
+        """r2 = (v - v_min) / (v_max - v_min), in [0, 1]."""
+        ratio = (outcome.ego_velocity_next - self.v_min) / (self.v_max - self.v_min)
+        return min(max(ratio, 0.0), 1.0)
+
+    def comfort(self, outcome: StepOutcome) -> float:
+        """r3 = -|jerk| normalized by the largest possible change, in [-1, 0]."""
+        return -abs(outcome.ego_accel - outcome.ego_accel_prev) / (2.0 * self.a_max)
+
+    def impact(self, outcome: StepOutcome) -> float:
+        """Eq. 30: penalize forcing the rear CV to brake hard, in [-1, 0]."""
+        if outcome.rear_velocity_now is None or outcome.rear_velocity_next is None:
+            return 0.0
+        drop = outcome.rear_velocity_now - outcome.rear_velocity_next
+        if drop <= self.velocity_threshold:
+            return 0.0
+        value = (outcome.rear_velocity_next - outcome.rear_velocity_now) / (2.0 * self.a_max * self.dt)
+        return max(value, -1.0)
+
+    # ------------------------------------------------------------------
+    # combination
+    # ------------------------------------------------------------------
+    def compute(self, outcome: StepOutcome) -> RewardBreakdown:
+        """Score one executed action (Eq. 28)."""
+        r1 = self.safety(outcome)
+        r2 = self.efficiency(outcome)
+        r3 = self.comfort(outcome)
+        r4 = self.impact(outcome)
+        w = self.weights
+        total = w.safety * r1 + w.efficiency * r2 + w.comfort * r3 + w.impact * r4
+        return RewardBreakdown(safety=r1, efficiency=r2, comfort=r3,
+                               impact=r4, total=total)

@@ -1,0 +1,92 @@
+"""Episode-level training loop for the PAMDP agents.
+
+Drives a :class:`~repro.decision.environment.DrivingEnv` with an agent,
+stores transitions, and performs one optimization step per environment
+step (paper: Adam, 4,000 episodes, batch 64; episode counts are
+configurable because this reproduction trains on CPU).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .agents import PamdpAgent
+from .environment import DrivingEnv
+from .pamdp import ParameterizedAction
+from .replay import Transition
+
+__all__ = ["RLTrainingLog", "train_agent"]
+
+#: Optional hook rewriting actions before execution (DRL-SC safety check).
+ActionFilter = Callable[[DrivingEnv, ParameterizedAction], ParameterizedAction]
+
+
+@dataclass
+class RLTrainingLog:
+    """Per-episode statistics of one training run."""
+
+    episode_rewards: list[float] = field(default_factory=list)
+    episode_steps: list[int] = field(default_factory=list)
+    collisions: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def episodes(self) -> int:
+        return len(self.episode_rewards)
+
+    def mean_recent_reward(self, window: int = 50) -> float:
+        recent = self.episode_rewards[-window:]
+        return sum(recent) / max(len(recent), 1)
+
+
+def train_agent(agent: PamdpAgent, env: DrivingEnv, episodes: int,
+                seed_offset: int = 0, learn_every: int = 1,
+                action_filter: ActionFilter | None = None,
+                max_episode_steps: int | None = None) -> RLTrainingLog:
+    """Train ``agent`` for ``episodes`` seeded episodes.
+
+    Parameters
+    ----------
+    seed_offset:
+        Episode i uses seed ``seed_offset + i`` so runs are reproducible
+        and disjoint from the evaluation seeds.
+    learn_every:
+        Environment steps between optimization steps.
+    action_filter:
+        Applied to every action before execution *and* reflected in the
+        stored transition (the executed action is what gets credited).
+    max_episode_steps:
+        Optional override of the environment's episode cap.
+    """
+    log = RLTrainingLog()
+    start = time.perf_counter()
+    for episode in range(episodes):
+        state = env.reset(seed_offset + episode)
+        episode_reward = 0.0
+        steps = 0
+        cap = max_episode_steps or env.max_steps
+        while steps < cap:
+            action = agent.act(state, explore=True)
+            if action_filter is not None:
+                action = action_filter(env, action)
+            next_state, breakdown, done, _ = env.step(action)
+            aux = agent.last_aux() if hasattr(agent, "last_aux") else None
+            agent.observe(Transition(
+                state=state, behavior=int(action.behavior), accel=action.accel,
+                reward=breakdown.total, next_state=next_state, done=done, aux=aux,
+            ))
+            if agent.total_steps % learn_every == 0:
+                agent.learn()
+            episode_reward += breakdown.total
+            steps += 1
+            if done or next_state is None:
+                break
+            state = next_state
+        log.episode_rewards.append(episode_reward / max(steps, 1))
+        log.episode_steps.append(steps)
+        if env.result.collided:
+            log.collisions += 1
+    log.wall_time = time.perf_counter() - start
+    return log

@@ -1,0 +1,13 @@
+"""Evaluation harness: episode execution, paper metrics, table rendering."""
+
+from .metrics import EvaluationReport, aggregate
+from .episodes import run_episode, evaluate_controller, RewardStats, reward_statistics
+from .tables import render_table, render_metric_table, PAPER_COLUMNS
+from .significance import ConfidenceInterval, bootstrap_mean, bootstrap_difference
+
+__all__ = [
+    "EvaluationReport", "aggregate",
+    "run_episode", "evaluate_controller", "RewardStats", "reward_statistics",
+    "render_table", "render_metric_table", "PAPER_COLUMNS",
+    "ConfidenceInterval", "bootstrap_mean", "bootstrap_difference",
+]

@@ -1,0 +1,78 @@
+"""Episode execution for evaluation: drive a controller through seeded episodes."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..decision.environment import DrivingEnv, EpisodeResult
+from ..decision.policies import Controller
+from .metrics import EvaluationReport, aggregate
+
+__all__ = ["run_episode", "evaluate_controller", "RewardStats", "reward_statistics"]
+
+
+def run_episode(controller: Controller, env: DrivingEnv, seed: int,
+                max_steps: int | None = None) -> EpisodeResult:
+    """Run one greedy episode under ``controller``; returns its result."""
+    state = env.reset(seed)
+    controller.begin_episode()
+    cap = max_steps or env.max_steps
+    steps = 0
+    while steps < cap:
+        action = controller.select_action(env, state)
+        state, _, done, _ = env.step(action)
+        steps += 1
+        if done or state is None:
+            break
+    return env.result
+
+
+def evaluate_controller(controller: Controller, env: DrivingEnv,
+                        seeds: list[int] | range,
+                        max_steps: int | None = None) -> EvaluationReport:
+    """Run the test episodes (paper: 500) and aggregate the metrics."""
+    results = [run_episode(controller, env, seed, max_steps=max_steps)
+               for seed in seeds]
+    return aggregate(results, env.road.length)
+
+
+@dataclass(frozen=True)
+class RewardStats:
+    """Table V quantities: per-episode mean rewards summarized."""
+
+    min_reward: float
+    max_reward: float
+    avg_reward: float
+    avg_inference_ms: float
+
+
+def reward_statistics(controller: Controller, env: DrivingEnv,
+                      seeds: list[int] | range,
+                      max_steps: int | None = None) -> RewardStats:
+    """Episode mean-reward min/max/avg plus average per-step decision latency."""
+    episode_rewards: list[float] = []
+    latencies: list[float] = []
+    for seed in seeds:
+        state = env.reset(seed)
+        controller.begin_episode()
+        cap = max_steps or env.max_steps
+        steps = 0
+        while steps < cap:
+            start = time.perf_counter()
+            action = controller.select_action(env, state)
+            latencies.append(time.perf_counter() - start)
+            state, _, done, _ = env.step(action)
+            steps += 1
+            if done or state is None:
+                break
+        episode_rewards.append(env.result.mean_reward)
+    rewards = np.array(episode_rewards)
+    return RewardStats(
+        min_reward=float(rewards.min()),
+        max_reward=float(rewards.max()),
+        avg_reward=float(rewards.mean()),
+        avg_inference_ms=float(np.mean(latencies) * 1000.0),
+    )

@@ -1,0 +1,102 @@
+"""Macroscopic and microscopic evaluation metrics (paper Section V-B).
+
+Aggregates :class:`~repro.decision.environment.EpisodeResult` records
+into the seven Table I/II columns:
+
+Macroscopic
+    * **AvgDT-A** -- average end-to-end driving time of the AV (s);
+    * **AvgDT-C** -- average driving time of conventional vehicles
+      within 100 m behind the AV (s);
+    * **Avg#-CA** -- average number of times per episode the AV forces
+      its rear vehicle to decelerate by more than 0.5 m/s.
+
+Microscopic
+    * **MinTTC-A** -- minimum time-to-collision of the AV (s);
+    * **AvgV-A** -- average AV velocity (m/s);
+    * **AvgJ-A** -- average AV jerk magnitude (m/s^2 per step);
+    * **AvgD-CA** -- average deceleration imposed on the rear vehicle (m/s).
+
+Episodes truncated before the road end (scaled-down runs) contribute a
+velocity-based driving-time estimate ``road_length / mean_velocity`` so
+the metric stays comparable across configurations; completed episodes
+use the exact step count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..decision.environment import EpisodeResult
+from ..sim import constants
+
+__all__ = ["EvaluationReport", "aggregate"]
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """The seven paper metrics plus bookkeeping."""
+
+    avg_dt_a: float
+    avg_dt_c: float
+    avg_count_ca: float
+    min_ttc_a: float
+    avg_v_a: float
+    avg_j_a: float
+    avg_d_ca: float
+    episodes: int
+    collisions: int
+
+    def row(self) -> list[float]:
+        """Values in the paper's column order."""
+        return [self.avg_dt_a, self.avg_dt_c, self.avg_count_ca,
+                self.min_ttc_a, self.avg_v_a, self.avg_j_a, self.avg_d_ca]
+
+
+def aggregate(results: list[EpisodeResult], road_length: float) -> EvaluationReport:
+    """Fold episode results into an :class:`EvaluationReport`."""
+    if not results:
+        raise ValueError("no episodes to aggregate")
+    dt_a: list[float] = []
+    dt_c: list[float] = []
+    counts: list[float] = []
+    ttcs: list[float] = []
+    velocities: list[float] = []
+    jerks: list[float] = []
+    rear_drops: list[float] = []
+    collisions = 0
+
+    for result in results:
+        records = result.records
+        if not records:
+            continue
+        mean_v = float(np.mean([record.av_velocity for record in records]))
+        if result.finished:
+            dt_a.append(result.steps * constants.DT)
+        else:
+            dt_a.append(road_length / max(mean_v, 0.1))
+        trailing = [record.trailing_mean_velocity for record in records
+                    if record.trailing_mean_velocity is not None]
+        if trailing:
+            dt_c.append(road_length / max(float(np.mean(trailing)), 0.1))
+        counts.append(sum(1 for record in records if record.impact_event))
+        ttcs.extend(record.ttc for record in records if record.ttc is not None)
+        velocities.extend(record.av_velocity for record in records)
+        jerks.extend(record.av_jerk for record in records)
+        rear_drops.extend(record.rear_velocity_drop for record in records
+                          if record.rear_velocity_drop is not None
+                          and record.rear_velocity_drop > 0.0)
+        collisions += 1 if result.collided else 0
+
+    return EvaluationReport(
+        avg_dt_a=float(np.mean(dt_a)),
+        avg_dt_c=float(np.mean(dt_c)) if dt_c else float("nan"),
+        avg_count_ca=float(np.mean(counts)),
+        min_ttc_a=float(np.min(ttcs)) if ttcs else float("inf"),
+        avg_v_a=float(np.mean(velocities)),
+        avg_j_a=float(np.mean(jerks)),
+        avg_d_ca=float(np.mean(rear_drops)) if rear_drops else 0.0,
+        episodes=len(results),
+        collisions=collisions,
+    )

@@ -1,0 +1,85 @@
+"""Bootstrap confidence intervals for metric comparisons.
+
+Scaled-down runs use few evaluation episodes, so point estimates alone
+can mislead.  These helpers quantify the uncertainty of per-episode
+metrics and of pairwise method differences via the percentile bootstrap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ConfidenceInterval", "bootstrap_mean", "bootstrap_difference"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a two-sided bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (f"{self.estimate:.3f} "
+                f"[{self.low:.3f}, {self.high:.3f}] @ {self.confidence:.0%}")
+
+
+def _bootstrap(values: np.ndarray, statistic: Callable[[np.ndarray], float],
+               resamples: int, rng: np.random.Generator) -> np.ndarray:
+    n = len(values)
+    stats = np.empty(resamples)
+    for index in range(resamples):
+        sample = values[rng.integers(0, n, size=n)]
+        stats[index] = statistic(sample)
+    return stats
+
+
+def bootstrap_mean(values: Sequence[float], confidence: float = 0.95,
+                   resamples: int = 2000,
+                   rng: np.random.Generator | None = None) -> ConfidenceInterval:
+    """Percentile-bootstrap CI for the mean of per-episode values."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = rng or np.random.default_rng(0)
+    stats = _bootstrap(values, np.mean, resamples, rng)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        estimate=float(values.mean()),
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def bootstrap_difference(a: Sequence[float], b: Sequence[float],
+                         confidence: float = 0.95, resamples: int = 2000,
+                         rng: np.random.Generator | None = None) -> ConfidenceInterval:
+    """CI for ``mean(a) - mean(b)`` on paired per-episode values.
+
+    Paired resampling (same episode indices for both methods) removes
+    the shared episode-difficulty variance, which dominates in traffic
+    scenarios.  Arrays must be aligned per episode seed.
+    """
+    a = np.asarray(list(a), dtype=np.float64)
+    b = np.asarray(list(b), dtype=np.float64)
+    if a.shape != b.shape or len(a) == 0:
+        raise ValueError("paired bootstrap needs equal-length, non-empty samples")
+    rng = rng or np.random.default_rng(0)
+    diffs = a - b
+    stats = _bootstrap(diffs, np.mean, resamples, rng)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        estimate=float(diffs.mean()),
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+    )

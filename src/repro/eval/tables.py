@@ -1,0 +1,46 @@
+"""Plain-text table rendering in the paper's layout.
+
+Each benchmark prints the same rows the paper reports; these helpers
+keep the formatting consistent and machine-greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .metrics import EvaluationReport
+
+__all__ = ["render_table", "render_metric_table", "PAPER_COLUMNS"]
+
+#: Column headers of Tables I and II.
+PAPER_COLUMNS = ["AvgDT-A(s)", "AvgDT-C(s)", "Avg#-CA", "MinTTC-A(s)",
+                 "AvgV-A(m/s)", "AvgJ-A(m/s2)", "AvgD-CA(m/s)"]
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: dict[str, Sequence[float]],
+                 precision: int = 2) -> str:
+    """Render a titled ASCII table: one named row per method."""
+    name_width = max([len(name) for name in rows] + [len("Method")])
+    cells = {
+        name: [f"{value:.{precision}f}" for value in values]
+        for name, values in rows.items()
+    }
+    widths = [max([len(header)] + [len(cells[name][index]) for name in rows])
+              for index, header in enumerate(headers)]
+    lines = [title]
+    header_line = "Method".ljust(name_width) + "  " + "  ".join(
+        header.rjust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for name, values in cells.items():
+        lines.append(name.ljust(name_width) + "  " + "  ".join(
+            value.rjust(width) for value, width in zip(values, widths)))
+    return "\n".join(lines)
+
+
+def render_metric_table(title: str,
+                        reports: dict[str, EvaluationReport]) -> str:
+    """Render Table I/II style output from evaluation reports."""
+    return render_table(title, PAPER_COLUMNS,
+                        {name: report.row() for name, report in reports.items()})

@@ -1,0 +1,42 @@
+"""Weight initialization schemes for :mod:`repro.nn` layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "uniform", "orthogonal"]
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform init, appropriate for tanh/sigmoid layers."""
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He uniform init, appropriate for ReLU layers."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def uniform(shape: tuple[int, ...], rng: np.random.Generator, limit: float) -> np.ndarray:
+    """Plain symmetric uniform init in ``[-limit, limit]``."""
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal init for recurrent weight matrices."""
+    rows, cols = shape
+    matrix = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, _ = np.linalg.qr(matrix)
+    q = q[:rows, :cols] if rows >= cols else q[:cols, :rows].T
+    return gain * q
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_out, fan_in = shape[0], int(np.prod(shape[1:]))
+    return fan_in, fan_out

@@ -1,0 +1,119 @@
+"""Dense layers and containers built on the autograd engine.
+
+The paper's networks are compositions of linear transformations with
+ReLU/LeakyReLU/Tanh nonlinearities (Eqs. 10-13 and 24-27); this module
+provides those building blocks with PyTorch-compatible semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Linear", "Sequential", "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "MLP"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b``.
+
+    Parameters
+    ----------
+    in_features / out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to learn an additive bias (the paper's layers all do).
+    rng:
+        Random generator for reproducible initialization.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs @ self.weight.T
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU activation (paper uses it inside the GAT scores, Eq. 10)."""
+
+    def __init__(self, negative_slope: float = 0.2) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.leaky_relu(self.negative_slope)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation (bounds BP-DQN accelerations, Eq. 25)."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.sigmoid()
+
+
+class Sequential(Module):
+    """Run sub-modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.children_list = list(modules)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs
+        for module in self.children_list:
+            output = module(output)
+        return output
+
+
+class MLP(Module):
+    """Multilayer perceptron with a configurable activation.
+
+    Builds ``Linear -> act -> ... -> Linear`` with no activation after
+    the final layer, which is the pattern used by every branch of the
+    paper's x/Q networks.
+    """
+
+    def __init__(self, sizes: Sequence[int],
+                 activation: Callable[[], Module] = ReLU,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        rng = rng or np.random.default_rng()
+        layers: list[Module] = []
+        for index, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layers.append(Linear(n_in, n_out, rng=rng))
+            if index < len(sizes) - 2:
+                layers.append(activation())
+        self.net = Sequential(*layers)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.net(inputs)

@@ -1,0 +1,135 @@
+"""Module system: parameter containers with state-dict serialization.
+
+Mirrors the small subset of ``torch.nn.Module`` the paper's models rely
+on: recursive parameter discovery, train/eval flags, state dicts, and
+parameter copying (used for target networks and soft updates).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Module", "Parameter"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as trainable by modules."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for neural network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered recursively for optimization and
+    serialization.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{index}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{index}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters of this module tree."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant module."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # ------------------------------------------------------------------
+    # train / eval
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Put this module tree in training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put this module tree in inference mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Return the total scalar parameter count."""
+        return sum(parameter.size for parameter in self.parameters())
+
+    # ------------------------------------------------------------------
+    # serialization and target-network support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a name -> array snapshot of all parameters (copies)."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values from a snapshot produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {parameter.data.shape}")
+            parameter.data = value.copy()
+
+    def copy_from(self, other: "Module") -> None:
+        """Hard-copy all parameters from ``other`` (target network init)."""
+        self.load_state_dict(other.state_dict())
+
+    def soft_update_from(self, other: "Module", tau: float) -> None:
+        """Polyak-average parameters from ``other``: p <- tau*p_other + (1-tau)*p.
+
+        Used by BP-DQN/P-DQN/P-DDPG target networks with the ratio 0.01
+        from the paper's implementation details.
+        """
+        own = dict(self.named_parameters())
+        for name, source in other.named_parameters():
+            own[name].data = tau * source.data + (1.0 - tau) * own[name].data
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

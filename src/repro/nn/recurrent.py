@@ -1,0 +1,99 @@
+"""LSTM layers (Hochreiter & Schmidhuber 1997) used across the paper.
+
+LST-GAT (Eq. 12) and the prediction baselines (LSTM-MLP, ED-LSTM,
+GAS-LED) all use batched single-layer LSTMs.  The implementation here
+processes ``(batch, time, features)`` sequences; "batch" carries the
+parallel target vehicles, which is exactly the parallel-prediction trick
+the paper exploits (Sec. III-B, "batched sequences").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, concat
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM step with the standard four-gate formulation.
+
+    Gate layout inside the packed weight matrices is ``[i, f, g, o]``
+    (input, forget, cell candidate, output) to match PyTorch.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        limit = 1.0 / np.sqrt(hidden_size)
+        self.weight_ih = Parameter(init.uniform((4 * hidden_size, input_size), rng, limit))
+        self.weight_hh = Parameter(init.uniform((4 * hidden_size, hidden_size), rng, limit))
+        self.bias = Parameter(np.zeros(4 * hidden_size))
+
+    def forward(self, inputs: Tensor, hidden: Tensor, cell: Tensor) -> tuple[Tensor, Tensor]:
+        """Advance one time step.
+
+        Parameters
+        ----------
+        inputs:
+            ``(batch, input_size)`` features for this step.
+        hidden / cell:
+            ``(batch, hidden_size)`` previous state.
+
+        Returns
+        -------
+        ``(new_hidden, new_cell)``.
+        """
+        gates = inputs @ self.weight_ih.T + hidden @ self.weight_hh.T + self.bias
+        h = self.hidden_size
+        i_gate = gates[:, 0 * h:1 * h].sigmoid()
+        f_gate = gates[:, 1 * h:2 * h].sigmoid()
+        g_gate = gates[:, 2 * h:3 * h].tanh()
+        o_gate = gates[:, 3 * h:4 * h].sigmoid()
+        new_cell = f_gate * cell + i_gate * g_gate
+        new_hidden = o_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+    def initial_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
+        """Return zero hidden/cell state for a batch (Eq. 12 default)."""
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Run an :class:`LSTMCell` over a full sequence.
+
+    Returns either the final hidden state or all per-step hidden states,
+    which is what the encoder-decoder baselines need.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, sequence: Tensor,
+                state: tuple[Tensor, Tensor] | None = None) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Process a ``(batch, time, features)`` sequence.
+
+        Returns
+        -------
+        outputs:
+            ``(batch, time, hidden)`` hidden states for every step.
+        (hidden, cell):
+            Final state, each ``(batch, hidden)``.
+        """
+        batch, steps, _ = sequence.shape
+        hidden, cell = state if state is not None else self.cell.initial_state(batch)
+        outputs: list[Tensor] = []
+        for step in range(steps):
+            hidden, cell = self.cell(sequence[:, step, :], hidden, cell)
+            outputs.append(hidden.reshape(batch, 1, self.hidden_size))
+        return concat(outputs, axis=1), (hidden, cell)

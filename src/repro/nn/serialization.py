@@ -1,0 +1,29 @@
+"""Checkpointing: save/load module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | os.PathLike) -> Path:
+    """Write ``module``'s state dict to ``path`` (``.npz`` appended if absent)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **module.state_dict())
+    return path
+
+
+def load_module(module: Module, path: str | os.PathLike) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module`` in place."""
+    with np.load(Path(path)) as archive:
+        module.load_state_dict({name: archive[name] for name in archive.files})
+    return module

@@ -1,0 +1,476 @@
+"""Tape-based reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of :mod:`repro.nn`.  The paper's models
+(LST-GAT, BP-DQN and all comparators) are defined in PyTorch; this
+engine reproduces the subset of functionality they need -- dense ops,
+broadcasting, matmul, element-wise nonlinearities, reductions, indexing
+and concatenation -- with exact reverse-mode gradients, so the training
+mathematics of the paper is preserved without a GPU dependency.
+
+The design follows the classic "define-by-run" tape:
+
+* every :class:`Tensor` wraps a ``numpy.ndarray`` plus an optional
+  gradient buffer;
+* each differentiable op records a closure that, given the output
+  gradient, accumulates input gradients;
+* :meth:`Tensor.backward` topologically sorts the tape and replays the
+  closures in reverse.
+
+Gradients are verified against central finite differences by the
+property tests in ``tests/nn/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables tape recording.
+
+    Used for target-network evaluation and inference, mirroring
+    ``torch.no_grad()``.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether ops currently record backward closures."""
+    return _GRAD_ENABLED
+
+
+def _as_array(value: "Tensor | np.ndarray | float | int | Sequence") -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting.
+
+    Summation runs over the leading dimensions numpy added and over any
+    axis that was broadcast from size one.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode gradient support.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; always stored as ``float64`` for numerical
+        robustness in gradient checks.
+    requires_grad:
+        Whether gradients should flow into this tensor.  Leaf tensors
+        with ``requires_grad=True`` act as trainable parameters.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        """Return a zero-filled tensor of the given shape."""
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        """Return a one-filled tensor of the given shape."""
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        """Return the single scalar value held by this tensor."""
+        if self.data.size != 1:
+            raise ValueError("item() is only defined for single-element tensors")
+        return float(self.data.reshape(-1)[0])
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient buffer."""
+        self.grad = None
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{flag})"
+
+    # ------------------------------------------------------------------
+    # autograd core
+    # ------------------------------------------------------------------
+    def _make_child(self, data: np.ndarray, parents: Iterable["Tensor"]) -> "Tensor":
+        parents = tuple(parents)
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=False)
+        out.requires_grad = requires
+        if requires:
+            out._parents = parents
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults
+            to ``1`` which requires this tensor to be a scalar.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient needs a scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # arithmetic ops
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data + other.data, (self, other))
+        if out.requires_grad:
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(grad, self.data.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(grad, other.data.shape))
+            out._backward = backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make_child(-self.data, (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: self._accumulate(-grad)
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def __rsub__(self, other) -> "Tensor":
+        return (-self) + other
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data * other.data, (self, other))
+        if out.requires_grad:
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+            out._backward = backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data / other.data, (self, other))
+        if out.requires_grad:
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(-grad * self.data / (other.data ** 2), other.data.shape))
+            out._backward = backward
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = self._make_child(self.data ** exponent, (self,))
+        if out.requires_grad:
+            def backward(grad: np.ndarray) -> None:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            out._backward = backward
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data @ other.data, (self, other))
+        if out.requires_grad:
+            def backward(grad: np.ndarray) -> None:
+                a, b = self.data, other.data
+                if self.requires_grad:
+                    if b.ndim == 1:
+                        grad_a = np.multiply.outer(grad, b) if a.ndim > 1 else grad * b
+                    elif a.ndim == 1:
+                        grad_a = grad @ b.T if grad.ndim else b @ grad
+                        grad_a = _unbroadcast(grad_a, a.shape)
+                    else:
+                        grad_a = _unbroadcast(grad @ np.swapaxes(b, -1, -2), a.shape)
+                    self._accumulate(grad_a)
+                if other.requires_grad:
+                    if a.ndim == 1 and b.ndim > 1:
+                        grad_b = _unbroadcast(np.multiply.outer(a, grad), b.shape)
+                    elif b.ndim == 1:
+                        grad_b = _unbroadcast((a * grad[..., None]).reshape(-1, a.shape[-1]).sum(axis=0)
+                                              if a.ndim > 1 else a * grad, b.shape)
+                    else:
+                        grad_b = _unbroadcast(np.swapaxes(a, -1, -2) @ grad, b.shape)
+                    other._accumulate(grad_b)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # element-wise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        value = np.exp(self.data)
+        out = self._make_child(value, (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: self._accumulate(grad * value)
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make_child(np.log(self.data), (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: self._accumulate(grad / self.data)
+        return out
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+        out = self._make_child(value, (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: self._accumulate(grad * (1.0 - value ** 2))
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make_child(value, (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: self._accumulate(grad * value * (1.0 - value))
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self._make_child(self.data * mask, (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: self._accumulate(grad * mask)
+        return out
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        slope = np.where(self.data > 0, 1.0, negative_slope)
+        out = self._make_child(self.data * slope, (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: self._accumulate(grad * slope)
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out = self._make_child(np.abs(self.data), (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: self._accumulate(grad * sign)
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    # ------------------------------------------------------------------
+    # reductions and shaping
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+        if out.requires_grad:
+            def backward(grad: np.ndarray) -> None:
+                expanded = grad
+                if axis is not None and not keepdims:
+                    axes = (axis,) if isinstance(axis, int) else axis
+                    for ax in sorted(a % self.data.ndim for a in axes):
+                        expanded = np.expand_dims(expanded, ax)
+                self._accumulate(np.broadcast_to(expanded, self.data.shape).copy())
+            out._backward = backward
+        return out
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        value = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make_child(value, (self,))
+        if out.requires_grad:
+            def backward(grad: np.ndarray) -> None:
+                expanded_value = self.data.max(axis=axis, keepdims=True) if axis is not None else value
+                mask = (self.data == expanded_value).astype(np.float64)
+                mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+                expanded_grad = grad
+                if axis is not None and not keepdims:
+                    expanded_grad = np.expand_dims(grad, axis)
+                self._accumulate(mask * expanded_grad)
+            out._backward = backward
+        return out
+
+    def reshape(self, *shape: int) -> "Tensor":
+        out = self._make_child(self.data.reshape(*shape), (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: self._accumulate(grad.reshape(self.data.shape))
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        order = axes or tuple(reversed(range(self.data.ndim)))
+        inverse = np.argsort(order)
+        out = self._make_child(self.data.transpose(order), (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: self._accumulate(grad.transpose(inverse))
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make_child(self.data[index], (self,))
+        if out.requires_grad:
+            def backward(grad: np.ndarray) -> None:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # composite helpers
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax along ``axis`` (fully differentiable)."""
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        exps = shifted.exp()
+        return exps / exps.sum(axis=axis, keepdims=True)
+
+    def clip_value(self, low: float, high: float) -> "Tensor":
+        """Clamp values to ``[low, high]``; gradient is zero outside the range."""
+        mask = (self.data >= low) & (self.data <= high)
+        out = self._make_child(np.clip(self.data, low, high), (self,))
+        if out.requires_grad:
+            out._backward = lambda grad: self._accumulate(grad * mask)
+        return out
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make_child(data, tensors)
+    if out.requires_grad:
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    index = [slice(None)] * grad.ndim
+                    index[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(index)])
+        out._backward = backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient routing."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make_child(data, tensors)
+    if out.requires_grad:
+        def backward(grad: np.ndarray) -> None:
+            parts = np.split(grad, len(tensors), axis=axis)
+            for tensor, part in zip(tensors, parts):
+                if tensor.requires_grad:
+                    tensor._accumulate(np.squeeze(part, axis=axis))
+        out._backward = backward
+    return out

@@ -1,0 +1,29 @@
+"""Enhanced perception module: sensor, phantom construction, LST-GAT."""
+
+from .sensor import Sensor, segment_intersects_rectangle
+from .neighbors import AREA_COUNT, MIRROR_AREA, area_of, select_neighbors
+from .tracking import ObservationBuffer
+from .phantom import TrackKind, TrackedVehicle, PerceivedScene, build_scene
+from .graph import (SpatialTemporalGraph, build_graph, to_networkx,
+                    FEATURE_DIM, CONTRIBUTORS)
+from .predictor import StatePredictor, OUTPUT_DIM
+from .lstgat import LSTGAT
+from .baselines import LSTMMLP, EDLSTM, GASLED
+from .dataset import PredictionSample, build_samples, collate, train_test_samples
+from .training import (TrainingResult, train_predictor, evaluate_predictor,
+                       AccuracyReport)
+from .multistep import rollout, HorizonErrors, horizon_errors
+from .module import PerceptionFrame, EnhancedPerception
+
+__all__ = [
+    "Sensor", "segment_intersects_rectangle",
+    "AREA_COUNT", "MIRROR_AREA", "area_of", "select_neighbors",
+    "ObservationBuffer",
+    "TrackKind", "TrackedVehicle", "PerceivedScene", "build_scene",
+    "SpatialTemporalGraph", "build_graph", "to_networkx", "FEATURE_DIM", "CONTRIBUTORS",
+    "StatePredictor", "OUTPUT_DIM", "LSTGAT", "LSTMMLP", "EDLSTM", "GASLED",
+    "PredictionSample", "build_samples", "collate", "train_test_samples",
+    "TrainingResult", "train_predictor", "evaluate_predictor", "AccuracyReport",
+    "rollout", "HorizonErrors", "horizon_errors",
+    "PerceptionFrame", "EnhancedPerception",
+]

@@ -1,0 +1,107 @@
+"""State-prediction baselines (paper Section V-A "Other Compared Methods").
+
+Three published trajectory predictors adapted, as in the paper, to the
+one-step state prediction task:
+
+* **LSTM-MLP** (Altche & de La Fortelle 2017): a vanilla LSTM over each
+  target's own history followed by an MLP head; no interaction
+  modeling.
+* **ED-LSTM** (Park et al. 2018): an LSTM encoder-decoder; the decoder
+  runs one step to emit the one-step prediction.
+* **GAS-LED** (Liu et al. 2021): global attention and state sharing
+  LSTM encoder-decoder -- a shared encoder embeds *every* vehicle in
+  the scene, each target attends over all encodings (global attention),
+  and a decoder head emits the prediction.
+
+All three share the :meth:`StatePredictor.forward_graph` interface with
+LST-GAT so training, evaluation and benchmarks treat them uniformly.
+Their ``predict_each`` method deliberately runs one target at a time --
+the sequential inference style the paper criticizes in Sec. III-A(3) --
+while LST-GAT predicts all targets in a single pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .graph import CONTRIBUTORS, FEATURE_DIM, SpatialTemporalGraph
+from .predictor import OUTPUT_DIM, StatePredictor
+
+__all__ = ["LSTMMLP", "EDLSTM", "GASLED"]
+
+class LSTMMLP(StatePredictor):
+    """Vanilla LSTM + MLP head; each target processed independently."""
+
+    def __init__(self, hidden_dim: int = 64,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.lstm = nn.LSTM(2 * FEATURE_DIM, hidden_dim, rng=rng)
+        self.head = nn.MLP([hidden_dim, hidden_dim, OUTPUT_DIM], rng=rng)
+
+    def forward_graph(self, graph: SpatialTemporalGraph) -> nn.Tensor:
+        _, (hidden, _) = self.lstm(self._target_with_ego_sequences(graph))
+        return self.head(hidden)
+
+
+class EDLSTM(StatePredictor):
+    """LSTM encoder-decoder; the decoder runs a single step."""
+
+    def __init__(self, hidden_dim: int = 64,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.encoder = nn.LSTM(2 * FEATURE_DIM, hidden_dim, rng=rng)
+        self.decoder = nn.LSTMCell(2 * FEATURE_DIM, hidden_dim, rng=rng)
+        self.head = nn.Linear(hidden_dim, OUTPUT_DIM, rng=rng)
+
+    def forward_graph(self, graph: SpatialTemporalGraph) -> nn.Tensor:
+        sequences = self._target_with_ego_sequences(graph)
+        _, (hidden, cell) = self.encoder(sequences)
+        last_input = sequences[:, -1, :]
+        hidden, _ = self.decoder(last_input, hidden, cell)
+        return self.head(hidden)
+
+
+class GASLED(StatePredictor):
+    """Global attention + state sharing LSTM encoder-decoder.
+
+    A shared encoder embeds all 42 scene nodes (6 targets x 7
+    contributors); each target's query attends over every node encoding
+    (scaled dot-product), and the context is concatenated with the
+    target encoding before the decoding head.  Encoding the full scene
+    is what makes this the slowest but (pre-LST-GAT) most accurate
+    compared method.
+    """
+
+    def __init__(self, hidden_dim: int = 64,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.hidden_dim = hidden_dim
+        self.encoder = nn.LSTM(FEATURE_DIM, hidden_dim, rng=rng)
+        self.target_encoder = nn.LSTM(2 * FEATURE_DIM, hidden_dim, rng=rng)
+        self.query = nn.Linear(hidden_dim, hidden_dim, rng=rng)
+        self.key = nn.Linear(hidden_dim, hidden_dim, rng=rng)
+        self.decoder = nn.LSTMCell(hidden_dim, hidden_dim, rng=rng)
+        self.head = nn.Linear(2 * hidden_dim, OUTPUT_DIM, rng=rng)
+
+    def forward_graph(self, graph: SpatialTemporalGraph) -> nn.Tensor:
+        z, n_targets = graph.target_features.shape[:2]
+        # Encode every scene node with the shared ("state sharing") encoder.
+        all_nodes = graph.contributor_features.reshape(z, n_targets * CONTRIBUTORS, FEATURE_DIM)
+        node_sequences = nn.Tensor(all_nodes.transpose(1, 0, 2))
+        _, (node_hidden, _) = self.encoder(node_sequences)     # (n*7, D)
+        target_sequences = self._target_with_ego_sequences(graph)
+        _, (target_hidden, target_cell) = self.target_encoder(target_sequences)  # (n, D)
+
+        # Global attention: every target attends over all node encodings.
+        queries = self.query(target_hidden)                    # (n, D)
+        keys = self.key(node_hidden)                           # (n*7, D)
+        scores = (queries @ keys.T) * (1.0 / np.sqrt(self.hidden_dim))
+        alpha = scores.softmax(axis=-1)                        # (n, n*7)
+        context = alpha @ node_hidden                          # (n, D)
+
+        decoded, _ = self.decoder(context, target_hidden, target_cell)
+        return self.head(nn.concat([decoded, context], axis=1))

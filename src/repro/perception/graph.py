@@ -1,0 +1,145 @@
+"""Spatial-temporal graph construction (paper Eqs. 7-9).
+
+Converts a :class:`~repro.perception.phantom.PerceivedScene` into the
+dense arrays LST-GAT consumes, and (for inspection and testing) into an
+explicit ``networkx`` graph with the paper's 42-node layout: 6 targets
+plus 6 surroundings each, with directed edges from every surrounding to
+its target and self-loops on targets.
+
+Feature vectors follow Eqs. 7-8: conventional vehicles carry states
+relative to the autonomous vehicle ``[d_lat, d_lon, v_rel, IF]``, the
+autonomous vehicle keeps its raw state as the reference, and
+zero-padded slots are all-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..sim.road import Road
+from ..sim.vehicle import VehicleState
+from .neighbors import AREA_COUNT
+from .phantom import PerceivedScene, TrackKind, TrackedVehicle
+
+__all__ = ["SpatialTemporalGraph", "build_graph", "FEATURE_DIM", "CONTRIBUTORS",
+           "OUTPUT_SCALE", "RELATIVE_SCALE", "EGO_SCALE"]
+
+#: Node feature dimensionality (Eq. 7): d_lat, d_lon, v_rel, IF.
+FEATURE_DIM = 4
+
+#: Contributors per target in the attention: the target itself + 6 surroundings.
+CONTRIBUTORS = AREA_COUNT + 1
+
+#: Feature scaling applied on top of Eqs. 7-8 so all network inputs are
+#: O(1).  Relative nodes: lateral offsets span a few lane widths
+#: (scale 10 m), longitudinal offsets span up to ~2R (scale 100 m),
+#: relative speeds span the speed-limit band (scale 10 m/s).  The IF
+#: flag is already 0/1.
+RELATIVE_SCALE = np.array([10.0, 100.0, 10.0, 1.0])
+
+#: Ego reference nodes keep raw state (paper Eq. 8 first row); scaled by
+#: lane count, a kilometer, and the speed limit.
+EGO_SCALE = np.array([6.0, 1000.0, 25.0, 1.0])
+
+#: Scaling of the predicted / ground-truth [d_lat, d_lon, v_rel].
+OUTPUT_SCALE = RELATIVE_SCALE[:3]
+
+
+def _feature(node: TrackedVehicle, step: int, ego_state: VehicleState,
+             road: Road) -> np.ndarray:
+    """Eq. 7/8 state vector of one node at one history step (scaled)."""
+    if node.kind is TrackKind.ZERO:
+        return np.zeros(FEATURE_DIM)
+    state = node.history[step]
+    if node.kind is TrackKind.EGO:
+        return np.array([state.lat, state.lon, state.v, 0.0]) / EGO_SCALE
+    return np.array([
+        road.lateral_offset(state.lat, ego_state.lat),
+        state.lon - ego_state.lon,
+        state.v - ego_state.v,
+        node.indicator,
+    ]) / RELATIVE_SCALE
+
+
+@dataclass
+class SpatialTemporalGraph:
+    """Dense tensor view of the paper's spatial-temporal graph G(t).
+
+    Attributes
+    ----------
+    target_features:
+        ``(z, 6, 4)`` Eq. 7 vectors of the targets C_1..C_6.
+    contributor_features:
+        ``(z, 6, 7, 4)``; slot 0 is the target itself (self-loop), slots
+        1..6 are C_{i.1}..C_{i.6} (Eq. 8).
+    target_mask:
+        ``(6,)`` -- 1 where the target is a real observed vehicle, 0
+        where it is a phantom (used by the Eq. 14 loss mask).
+    ego_features:
+        ``(z, 6, 4)`` raw (scaled) ego reference states, replicated per
+        target so batched graphs collate uniformly.  The prediction task
+        conditions on the autonomous vehicle's own history (Sec. III-B
+        problem statement), and the Eq. 13 outputs are relative to the
+        ego so its absolute motion is required context.
+    """
+
+    target_features: np.ndarray
+    contributor_features: np.ndarray
+    target_mask: np.ndarray
+    ego_features: np.ndarray
+
+    @property
+    def history_steps(self) -> int:
+        return self.target_features.shape[0]
+
+
+def build_graph(scene: PerceivedScene, road: Road) -> SpatialTemporalGraph:
+    """Assemble G(t) feature arrays from a perceived scene."""
+    steps = len(scene.ego.history)
+    targets = np.zeros((steps, AREA_COUNT, FEATURE_DIM))
+    contributors = np.zeros((steps, AREA_COUNT, CONTRIBUTORS, FEATURE_DIM))
+    ego = np.zeros((steps, AREA_COUNT, FEATURE_DIM))
+    mask = np.array(scene.target_mask())
+
+    for step in range(steps):
+        ego_state = scene.ego.history[step]
+        ego[step, :] = _feature(scene.ego, step, ego_state, road)
+        for area in range(1, AREA_COUNT + 1):
+            target = scene.targets[area]
+            vector = _feature(target, step, ego_state, road)
+            targets[step, area - 1] = vector
+            contributors[step, area - 1, 0] = vector
+            for sub_area in range(1, AREA_COUNT + 1):
+                node = scene.surroundings[(area, sub_area)]
+                contributors[step, area - 1, sub_area] = _feature(node, step, ego_state, road)
+    return SpatialTemporalGraph(targets, contributors, mask, ego)
+
+
+def to_networkx(scene: PerceivedScene, road: Road, step: int = -1) -> nx.DiGraph:
+    """Export one spatial graph g(tau) as a directed networkx graph.
+
+    Nodes are labeled ``"C1"``..``"C6"`` and ``"C1.1"``..``"C6.6"`` with
+    ``feature`` and ``kind`` attributes; edges run surrounding -> target
+    plus target self-loops, exactly the paper's construction steps 1-3.
+    """
+    graph = nx.DiGraph()
+    steps = len(scene.ego.history)
+    index = step % steps
+    ego_state = scene.ego.history[index]
+    for area in range(1, AREA_COUNT + 1):
+        target = scene.targets[area]
+        graph.add_node(f"C{area}",
+                       feature=_feature(target, index, ego_state, road),
+                       kind=target.kind.value)
+        for sub_area in range(1, AREA_COUNT + 1):
+            node = scene.surroundings[(area, sub_area)]
+            name = f"C{area}.{sub_area}"
+            graph.add_node(name,
+                           feature=_feature(node, index, ego_state, road),
+                           kind=node.kind.value)
+            graph.add_edge(name, f"C{area}")
+        graph.add_edge(f"C{area}", f"C{area}")
+    return graph

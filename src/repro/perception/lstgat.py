@@ -1,0 +1,183 @@
+"""LST-GAT: Local Spatial-Temporal Graph ATtention predictor (Sec. III-B).
+
+Network structure (Fig. 5):
+
+1. a shared graph attention layer aggregates, for every target vehicle
+   C_i and every history step tau, its 7 contributors (itself plus its
+   six surroundings) with learned importance scores (Eqs. 10-11);
+2. an LSTM consumes the z aggregated vectors per target and a linear
+   head maps the final hidden state to the predicted one-step relative
+   future state ``[d_lat, d_lon, v_rel]`` (Eqs. 12-13).
+
+All six targets are predicted in one batched pass -- the parallel
+prediction the paper credits for LST-GAT's inference speed.
+
+The attention score of Eq. 10 is computed with the standard GAT
+decomposition ``phi_2 [u || v] = a_src . u + a_dst . v`` which avoids an
+explicit concatenation while remaining mathematically identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..sim import constants
+from .graph import CONTRIBUTORS, FEATURE_DIM, SpatialTemporalGraph
+from .predictor import StatePredictor
+
+__all__ = ["LSTGAT"]
+
+
+class GraphAttention(nn.Module):
+    """Shared single-head graph attention over each target's star graph.
+
+    Implements Eqs. 10-11 for all (step, target) pairs at once on
+    ``(z, 6, 7, 4)`` contributor features.
+    """
+
+    def __init__(self, feature_dim: int, hidden_dim: int,
+                 negative_slope: float = 0.2, num_heads: int = 4,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if hidden_dim % num_heads:
+            raise ValueError("hidden_dim must be divisible by num_heads")
+        self.hidden_dim = hidden_dim
+        self.num_heads = num_heads
+        self.head_dim = hidden_dim // num_heads
+        self.negative_slope = negative_slope
+        # phi_1: feature transform used inside the attention score
+        # (all heads packed row-wise: rows [k*Dh, (k+1)*Dh) are head k).
+        self.phi1 = nn.Parameter(_xavier(rng, (hidden_dim, feature_dim)))
+        # phi_2 split into source/destination halves (see module
+        # docstring), one pair per head.
+        self.attn_src = nn.Parameter(_xavier(rng, (num_heads, self.head_dim)))
+        self.attn_dst = nn.Parameter(_xavier(rng, (num_heads, self.head_dim)))
+        # phi_3: value transform for the aggregation of Eq. 11.  Values
+        # see the contributor feature and its difference to the target
+        # feature: car-following behaviour is driven by *pairwise* gaps
+        # and speed differences, so exposing (h_ix - h_i) as an edge
+        # feature lets one linear map deliver exactly that quantity.
+        self.phi3 = nn.Parameter(_xavier(rng, (hidden_dim, 2 * feature_dim)))
+
+    def forward(self, targets: nn.Tensor, contributors: nn.Tensor) -> nn.Tensor:
+        """Aggregate contributors into updated target vectors.
+
+        Parameters
+        ----------
+        targets:
+            ``(z, 6, 4)`` Eq. 7 target features.
+        contributors:
+            ``(z, 6, 7, 4)`` contributor features (slot 0 = self-loop).
+
+        Returns
+        -------
+        ``(z, 6, hidden_dim)`` updated historical states h' (Eq. 11),
+        the concatenation of all attention heads.
+        """
+        z, n = targets.shape[0], targets.shape[1]
+        heads, head_dim = self.num_heads, self.head_dim
+        transformed_targets = (targets @ self.phi1.T).reshape(z, n, heads, head_dim)
+        transformed_contrib = (contributors @ self.phi1.T).reshape(
+            z, n, CONTRIBUTORS, heads, head_dim)
+        # Per-head scalar scores: dot each head block with its phi_2 half.
+        score_target = (transformed_targets * self.attn_src).sum(axis=-1)  # (z, n, K)
+        score_contrib = (transformed_contrib * self.attn_dst).sum(axis=-1)  # (z, n, 7, K)
+        scores = score_target.reshape(z, n, 1, heads) + score_contrib
+        scores = scores.leaky_relu(self.negative_slope)
+        # Padding mask: zero-padded slots (all-zero feature vectors, the
+        # surroundings of phantom targets) must not receive attention.
+        padding = (np.abs(contributors.data).sum(axis=-1) == 0.0)
+        if padding.any():
+            scores = scores + nn.Tensor(
+                np.where(padding, -1e9, 0.0)[:, :, :, None])
+        alpha = scores.softmax(axis=2)                                      # Eq. 10
+        target_rows = targets.reshape(z, n, 1, targets.shape[-1])
+        edges = contributors - target_rows                     # pairwise differences
+        values = (nn.concat([contributors, edges], axis=3) @ self.phi3.T).reshape(
+            z, n, CONTRIBUTORS, heads, head_dim)
+        weighted = values * alpha.reshape(z, n, CONTRIBUTORS, heads, 1)
+        return weighted.sum(axis=2).reshape(z, n, self.hidden_dim)  # Eq. 11
+
+
+def _xavier(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    fan_in = shape[-1] if len(shape) > 1 else shape[0]
+    fan_out = shape[0]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+class LSTGAT(StatePredictor):
+    """The full LST-GAT predictor (graph attention + LSTM + linear head).
+
+    Parameters
+    ----------
+    attention_dim:
+        D_phi1 = D_phi3 (paper: 64).
+    lstm_dim:
+        D_l, the LSTM hidden size (paper: 64).
+    history_steps:
+        Window length z (paper: 5).
+    """
+
+    def __init__(self, attention_dim: int = 64, lstm_dim: int = 64,
+                 history_steps: int = constants.HISTORY_STEPS,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.history_steps = history_steps
+        self.attention = GraphAttention(FEATURE_DIM, attention_dim, rng=rng)
+        # The LSTM sees the Eq. 11 aggregation concatenated with the raw
+        # target state (a standard GAT skip connection that keeps the
+        # target's own trajectory undiluted by the attention mixture)
+        # and the ego reference state the labels are relative to.
+        self.lstm = nn.LSTM(attention_dim + 2 * FEATURE_DIM, lstm_dim, rng=rng)
+        self.head = nn.Linear(lstm_dim, 3, rng=rng)
+
+    def forward_graph(self, graph: SpatialTemporalGraph) -> nn.Tensor:
+        """Predict the one-step future relative state of all 6 targets.
+
+        Returns a ``(6, 3)`` tensor: per target, the predicted
+        ``[d_lat, d_lon, v_rel]`` at t+1 relative to the ego at t
+        (Eq. 13).
+        """
+        targets = nn.Tensor(graph.target_features)
+        contributors = nn.Tensor(graph.contributor_features)
+        ego = nn.Tensor(graph.ego_features)
+        updated = self.attention(targets, contributors)        # (z, 6, D)
+        combined = nn.concat([updated, targets, ego], axis=2)  # (z, 6, D+8)
+        sequence = combined.transpose(1, 0, 2)                 # (6, z, D+8)
+        _, (hidden, _) = self.lstm(sequence)                   # (6, D_l)
+        return self.head(hidden)                               # (6, 3)
+
+    def attention_map(self, graph: SpatialTemporalGraph) -> np.ndarray:
+        """Importance scores alpha for interpretability (Eq. 10).
+
+        Returns ``(z, n_targets, 7)`` head-averaged attention weights:
+        slot 0 is the target's self-loop, slots 1..6 its surroundings
+        C_{i.1}..C_{i.6}.  Rows sum to 1 (padding slots get ~0).
+        """
+        attention = self.attention
+        with nn.no_grad():
+            targets = nn.Tensor(graph.target_features)
+            contributors = nn.Tensor(graph.contributor_features)
+            z, n = targets.shape[0], targets.shape[1]
+            heads, head_dim = attention.num_heads, attention.head_dim
+            transformed_targets = (targets @ attention.phi1.T).reshape(
+                z, n, heads, head_dim)
+            transformed_contrib = (contributors @ attention.phi1.T).reshape(
+                z, n, CONTRIBUTORS, heads, head_dim)
+            score_target = (transformed_targets * attention.attn_src).sum(axis=-1)
+            score_contrib = (transformed_contrib * attention.attn_dst).sum(axis=-1)
+            scores = score_target.reshape(z, n, 1, heads) + score_contrib
+            scores = scores.leaky_relu(attention.negative_slope)
+            padding = (np.abs(contributors.data).sum(axis=-1) == 0.0)
+            if padding.any():
+                scores = scores + nn.Tensor(
+                    np.where(padding, -1e9, 0.0)[:, :, :, None])
+            alpha = scores.softmax(axis=2)
+        return alpha.numpy().mean(axis=-1)
+
+    # forward() kept as an alias so the model reads like the paper's Fig. 5.
+    forward = forward_graph

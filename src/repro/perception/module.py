@@ -1,0 +1,124 @@
+"""The enhanced perception module: online facade used by the HEAD agent.
+
+Per decision step it (1) reads the sensor, (2) updates observation
+tracks, (3) runs phantom construction and builds the spatial-temporal
+graph, and (4) predicts the one-step future states of the six targets
+with LST-GAT.  The decision module consumes the returned
+:class:`PerceptionFrame`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim import constants
+from ..sim.engine import SimulationEngine
+from ..sim.road import Road
+from ..sim.vehicle import VehicleState
+from .graph import SpatialTemporalGraph, build_graph
+from .phantom import PerceivedScene, build_scene
+from .predictor import StatePredictor
+from .sensor import Sensor
+from .tracking import ObservationBuffer
+
+__all__ = ["PerceptionFrame", "EnhancedPerception"]
+
+
+@dataclass
+class PerceptionFrame:
+    """Everything perception hands to the decision module at one step.
+
+    Attributes
+    ----------
+    scene:
+        The 1+6+36 perceived layout (observed vehicles + phantoms).
+    graph:
+        Dense G(t) arrays (input to the predictor).
+    prediction:
+        ``(6, 3)`` one-step future relative states of the targets, or
+        zeros when prediction is disabled (HEAD-w/o-LST-GAT).
+    """
+
+    scene: PerceivedScene
+    graph: SpatialTemporalGraph
+    prediction: np.ndarray
+
+
+class EnhancedPerception:
+    """Sensor + tracker + phantom construction + LST-GAT, glued together.
+
+    Parameters
+    ----------
+    predictor:
+        Any :class:`StatePredictor`; pass None to disable prediction
+        (the HEAD-w/o-LST-GAT ablation, which then feeds zeros as the
+        "future" half of the augmented state).
+    use_phantoms:
+        Setting False replaces every phantom with zero states (the
+        HEAD-w/o-PVC ablation).
+    """
+
+    def __init__(self, predictor: StatePredictor | None,
+                 sensor: Sensor | None = None,
+                 history_steps: int = constants.HISTORY_STEPS,
+                 use_phantoms: bool = True) -> None:
+        self.predictor = predictor
+        self.sensor = sensor or Sensor()
+        self.history_steps = history_steps
+        self.use_phantoms = use_phantoms
+        self.buffer = ObservationBuffer(history_steps=history_steps)
+        self._ego_track: list[VehicleState] = []
+
+    def reset(self) -> None:
+        """Clear all episode state (call at episode start)."""
+        self.buffer.reset()
+        self._ego_track.clear()
+
+    def ego_history(self) -> list[VehicleState]:
+        """The ego's last z states, front-padded by repetition."""
+        track = self._ego_track[-self.history_steps:]
+        if len(track) < self.history_steps:
+            track = [track[0]] * (self.history_steps - len(track)) + track
+        return track
+
+    def perceive(self, engine: SimulationEngine, ego_id: str) -> PerceptionFrame:
+        """Run one full perception cycle against the live simulator."""
+        ego_state = engine.get(ego_id).state
+        world = {vid: vehicle.state for vid, vehicle in engine.vehicles.items()}
+        return self.perceive_snapshot(ego_id, ego_state, world, engine.road)
+
+    def perceive_snapshot(self, ego_id: str, ego_state: VehicleState,
+                          world: dict[str, VehicleState], road: Road) -> PerceptionFrame:
+        """Perception cycle against an explicit world snapshot."""
+        self._ego_track.append(ego_state)
+        observed = self.sensor.observe(ego_id, ego_state, world, road)
+        self.buffer.update(observed)
+        scene = build_scene(ego_id, self.ego_history(), self.buffer, road,
+                            detection_range=self.sensor.detection_range)
+        if not self.use_phantoms:
+            scene = _zero_out_phantoms(scene)
+        graph = build_graph(scene, road)
+        if self.predictor is not None:
+            prediction = self.predictor.predict(graph)
+        else:
+            prediction = np.zeros((6, 3))
+        return PerceptionFrame(scene=scene, graph=graph, prediction=prediction)
+
+
+def _zero_out_phantoms(scene: PerceivedScene) -> PerceivedScene:
+    """HEAD-w/o-PVC: unobservable slots become zero states, not phantoms."""
+    from .phantom import TrackKind, TrackedVehicle
+
+    def strip(node: TrackedVehicle) -> TrackedVehicle:
+        if node.kind.is_phantom:
+            zero = VehicleState(lat=0, lon=0.0, v=0.0)
+            return TrackedVehicle(TrackKind.ZERO, [zero] * len(node.history))
+        return node
+
+    return PerceivedScene(
+        ego=scene.ego,
+        targets={area: strip(node) for area, node in scene.targets.items()},
+        surroundings={key: strip(node) for key, node in scene.surroundings.items()},
+    )

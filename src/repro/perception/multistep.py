@@ -1,0 +1,136 @@
+"""Multi-step trajectory prediction by recursive one-step rollout.
+
+The paper's Section III-A(2) argues for one-step prediction because
+multi-step accuracy decays with horizon: "the sequential decoding
+schema will accumulate errors over time".  This module makes that
+argument measurable: it rolls any one-step :class:`StatePredictor`
+forward recursively -- feeding its own predictions back as the newest
+history step -- and reports per-horizon errors, powering the error-growth
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.trajectories import TrajectorySet
+from ..sim import constants
+from .dataset import PredictionSample, _relative_future
+from .graph import (EGO_SCALE, OUTPUT_SCALE, RELATIVE_SCALE,
+                    SpatialTemporalGraph)
+from .predictor import StatePredictor
+
+__all__ = ["rollout", "HorizonErrors", "horizon_errors"]
+
+
+def rollout(model: StatePredictor, graph: SpatialTemporalGraph,
+            horizon: int) -> np.ndarray:
+    """Predict ``horizon`` future steps by feeding predictions back.
+
+    Returns ``(horizon, n_targets, 3)`` physical-unit relative states,
+    each expressed relative to the ego at the *initial* time step (the
+    ego is extrapolated at constant velocity, the standard assumption
+    for open-loop rollouts).
+
+    The rollout shifts the history window: the oldest step drops, the
+    prediction becomes the newest.  Contributor features are advanced
+    with the same constant-velocity assumption -- the information decay
+    this causes is precisely the error accumulation the paper describes.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be at least 1")
+    current = SpatialTemporalGraph(
+        graph.target_features.copy(), graph.contributor_features.copy(),
+        graph.target_mask.copy(), graph.ego_features.copy())
+    outputs = []
+    ego_travel = np.zeros(3)  # cumulative ego displacement since the start
+    for _ in range(horizon):
+        predicted = model.predict(current)  # relative to the ego at this window's t
+        # Convert to the initial-ego frame: a target at fixed relative
+        # position w.r.t. a moving ego is further ahead of where the ego
+        # started, by the ego's cumulative travel.
+        outputs.append(predicted + ego_travel)
+        current, step_shift = _advance(current, predicted)
+        ego_travel = ego_travel - step_shift  # step_shift is -v_ego*dt
+    return np.stack(outputs)
+
+
+def _advance(graph: SpatialTemporalGraph,
+             predicted: np.ndarray) -> tuple[SpatialTemporalGraph, np.ndarray]:
+    """Shift the window one step using the model's own prediction."""
+    dt = constants.DT
+    targets = np.roll(graph.target_features, -1, axis=0)
+    scaled = predicted / OUTPUT_SCALE
+    # Keep the IF indicator from the previous newest step.
+    targets[-1, :, :3] = scaled
+    targets[-1, :, 3] = graph.target_features[-1, :, 3]
+
+    # Ego advances at constant velocity; relative features must shift by
+    # the ego's own displacement (they are ego-relative).
+    ego = np.roll(graph.ego_features, -1, axis=0)
+    v_ego = graph.ego_features[-1, :, 2] * EGO_SCALE[2]
+    ego[-1] = graph.ego_features[-1]
+    ego[-1, :, 1] += v_ego * dt / EGO_SCALE[1]
+    shift = np.zeros(3)
+    shift[1] = -float(v_ego[0]) * dt  # targets fall behind a moving ego
+
+    targets[-1, :, 1] += shift[1] / RELATIVE_SCALE[1]
+
+    contributors = np.roll(graph.contributor_features, -1, axis=0)
+    previous = graph.contributor_features[-1]
+    advanced = previous.copy()
+    # Constant velocity for every contributor: d_lon += (v_rel)*dt.
+    advanced[:, :, 1] += previous[:, :, 2] * RELATIVE_SCALE[2] * dt / RELATIVE_SCALE[1]
+    contributors[-1] = advanced
+    contributors[-1, :, 0, :] = targets[-1]  # self-loop mirrors the target
+
+    return SpatialTemporalGraph(targets, contributors, graph.target_mask.copy(), ego), shift
+
+
+@dataclass(frozen=True)
+class HorizonErrors:
+    """Mean displacement error per prediction horizon step."""
+
+    horizons: list[int]
+    displacement: list[float]  # mean longitudinal+lateral error (m)
+    velocity: list[float]      # mean |v| error (m/s)
+
+
+def horizon_errors(model: StatePredictor, trajectories: TrajectorySet,
+                   samples: list[PredictionSample],
+                   horizon: int = 5) -> HorizonErrors:
+    """Open-loop rollout errors against recorded ground truth.
+
+    ``samples`` must carry provenance metadata (ego_id, step,
+    target_ids), as produced by
+    :func:`repro.perception.dataset.build_samples`.
+    """
+    road = trajectories.road
+    per_horizon_disp: dict[int, list[float]] = {h: [] for h in range(1, horizon + 1)}
+    per_horizon_vel: dict[int, list[float]] = {h: [] for h in range(1, horizon + 1)}
+    for sample in samples:
+        step, ego_id, target_ids = sample.step, sample.ego_id, sample.target_ids
+        if step is None or ego_id is None or target_ids is None:
+            continue
+        if step + horizon >= len(trajectories):
+            continue
+        predictions = rollout(model, sample.graph, horizon)
+        ego_state = trajectories.snapshots[step][ego_id]
+        mask = sample.graph.target_mask.astype(bool)
+        for h in range(1, horizon + 1):
+            snapshot = trajectories.snapshots[step + h]
+            for index, vid in enumerate(target_ids):
+                if not mask[index] or vid is None or vid not in snapshot:
+                    continue
+                truth = _relative_future(snapshot[vid], ego_state, road) * OUTPUT_SCALE
+                error = predictions[h - 1, index] - truth
+                per_horizon_disp[h].append(float(np.hypot(error[0], error[1])))
+                per_horizon_vel[h].append(abs(float(error[2])))
+    horizons = [h for h in range(1, horizon + 1) if per_horizon_disp[h]]
+    return HorizonErrors(
+        horizons=horizons,
+        displacement=[float(np.mean(per_horizon_disp[h])) for h in horizons],
+        velocity=[float(np.mean(per_horizon_vel[h])) for h in horizons],
+    )

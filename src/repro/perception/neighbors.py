@@ -1,0 +1,69 @@
+"""Six-key-area neighbor selection (paper Fig. 2).
+
+Around any center vehicle the six most influential surrounding vehicles
+are the nearest ones in the front-left (1), front (2), front-right (3),
+rear-left (4), rear (5) and rear-right (6) areas.  The index order
+matches Eq. 4, so position ``i`` here is the paper's ``C_i``.
+"""
+
+from __future__ import annotations
+
+from ..sim.vehicle import VehicleState
+
+__all__ = ["AREA_COUNT", "select_neighbors", "area_of", "MIRROR_AREA"]
+
+#: Number of key areas around a center vehicle.
+AREA_COUNT = 6
+
+#: Area index of the center seen from its own neighbor: if B occupies
+#: area i around A, then A occupies area MIRROR_AREA[i] around B
+#: (paper footnote 1: A = C_{1.6} = C_{2.5} = C_{3.4} = ...).
+MIRROR_AREA = {1: 6, 2: 5, 3: 4, 4: 3, 5: 2, 6: 1}
+
+
+def area_of(center: VehicleState, other: VehicleState) -> int | None:
+    """Classify ``other`` into one of the six areas around ``center``.
+
+    Returns 1-6, or None when the vehicle is in a non-adjacent lane or
+    exactly alongside in an adjacent lane is treated by its longitudinal
+    sign (ahead -> front areas, behind-or-equal -> rear areas; a vehicle
+    at the same lon in the same lane is the center itself and yields
+    None).
+    """
+    lane_delta = other.lat - center.lat
+    if lane_delta not in (-1, 0, 1):
+        return None
+    ahead = other.lon > center.lon
+    if lane_delta == -1:
+        return 1 if ahead else 4
+    if lane_delta == 0:
+        if other.lon == center.lon:
+            return None
+        return 2 if ahead else 5
+    return 3 if ahead else 6
+
+
+def select_neighbors(center: VehicleState,
+                     candidates: dict[str, VehicleState]) -> dict[int, str]:
+    """Pick the nearest candidate per area around ``center``.
+
+    Parameters
+    ----------
+    center:
+        State of the center vehicle.
+    candidates:
+        Candidate states keyed by id (must not contain the center).
+
+    Returns
+    -------
+    Mapping ``area -> vehicle id`` containing only occupied areas.
+    """
+    best: dict[int, tuple[float, str]] = {}
+    for vid, state in candidates.items():
+        area = area_of(center, state)
+        if area is None:
+            continue
+        distance = abs(state.lon - center.lon)
+        if area not in best or distance < best[area][0]:
+            best[area] = (distance, vid)
+    return {area: vid for area, (_, vid) in best.items()}

@@ -1,0 +1,144 @@
+"""Onboard sensor model: limited detection range and occlusion shadows.
+
+The paper simulates sensor limitations geometrically inside SUMO
+(Section V-A): a LiDAR-like sensor with detection radius R = 100 m that
+cannot see through other vehicles.  This module reproduces that model
+on plan-view geometry: each vehicle is a rectangle (length x width) in
+the (lon, lateral-meters) plane, and a target is visible iff it is
+within range and the sight line from the ego center to the target
+center does not pass through any other vehicle's rectangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import constants
+from ..sim.road import Road
+from ..sim.vehicle import VehicleState
+
+__all__ = ["Sensor", "segment_intersects_rectangle"]
+
+#: Plan-view vehicle width (m) used for occlusion shadows.
+VEHICLE_WIDTH = 2.0
+
+
+def _lateral_meters(state: VehicleState, road: Road) -> float:
+    """Lane-center lateral coordinate in meters."""
+    return state.lat * road.lane_width
+
+
+def segment_intersects_rectangle(p0: tuple[float, float], p1: tuple[float, float],
+                                 center: tuple[float, float],
+                                 half_x: float, half_y: float) -> bool:
+    """Return True when segment p0-p1 crosses an axis-aligned rectangle.
+
+    Uses the slab (Liang-Barsky) clipping test.  Touching only the
+    boundary counts as intersecting, which errs on the side of marking
+    targets occluded -- the conservative choice for a safety system.
+    """
+    x0, y0 = p0
+    x1, y1 = p1
+    dx, dy = x1 - x0, y1 - y0
+    t_min, t_max = 0.0, 1.0
+    for delta, origin, lo, hi in (
+        (dx, x0, center[0] - half_x, center[0] + half_x),
+        (dy, y0, center[1] - half_y, center[1] + half_y),
+    ):
+        if abs(delta) < 1e-12:
+            if origin < lo or origin > hi:
+                return False
+            continue
+        t_enter = (lo - origin) / delta
+        t_exit = (hi - origin) / delta
+        if t_enter > t_exit:
+            t_enter, t_exit = t_exit, t_enter
+        t_min = max(t_min, t_enter)
+        t_max = min(t_max, t_exit)
+        if t_min > t_max:
+            return False
+    return True
+
+
+@dataclass
+class Sensor:
+    """Range- and occlusion-limited sensor mounted on the ego vehicle.
+
+    Parameters
+    ----------
+    detection_range:
+        Radius R in meters (paper: 100 m).
+    vehicle_length / vehicle_width:
+        Obstacle footprint for occlusion shadows.
+    position_noise / velocity_noise:
+        Std. dev. of zero-mean Gaussian measurement noise on detected
+        longitudinal positions (m) and speeds (m/s).  Real detections
+        (and the NGSIM recordings the paper trains on) are noisy;
+        defaults are noise-free for deterministic unit tests.
+    seed:
+        Seeds the measurement-noise stream.
+    """
+
+    detection_range: float = constants.SENSOR_RANGE
+    vehicle_length: float = constants.VEHICLE_LENGTH
+    vehicle_width: float = VEHICLE_WIDTH
+    position_noise: float = 0.0
+    velocity_noise: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        import numpy as np
+
+        self._noise_rng = np.random.default_rng(self.seed)
+
+    def in_range(self, ego: VehicleState, target: VehicleState, road: Road) -> bool:
+        """Euclidean range test in the plan view."""
+        dx = target.lon - ego.lon
+        dy = _lateral_meters(target, road) - _lateral_meters(ego, road)
+        return dx * dx + dy * dy <= self.detection_range ** 2
+
+    def is_occluded(self, ego: VehicleState, target: VehicleState,
+                    obstacles: dict[str, VehicleState], road: Road,
+                    target_id: str | None = None) -> bool:
+        """True when any obstacle blocks the ego-to-target sight line."""
+        # Sight line runs between geometric centers (lon is the front
+        # bumper, so the center sits half a length behind it).
+        half_len = self.vehicle_length / 2.0
+        p0 = (ego.lon - half_len, _lateral_meters(ego, road))
+        p1 = (target.lon - half_len, _lateral_meters(target, road))
+        for vid, state in obstacles.items():
+            if target_id is not None and vid == target_id:
+                continue
+            center = (state.lon - half_len, _lateral_meters(state, road))
+            if abs(center[0] - p0[0]) < 1e-9 and abs(center[1] - p0[1]) < 1e-9:
+                continue  # the ego itself
+            if segment_intersects_rectangle(p0, p1, center,
+                                            half_len, self.vehicle_width / 2.0):
+                return True
+        return False
+
+    def observe(self, ego_id: str, ego: VehicleState,
+                world: dict[str, VehicleState], road: Road) -> dict[str, VehicleState]:
+        """Return the states of all vehicles this sensor can currently see.
+
+        ``world`` holds ground-truth states keyed by id (the simulator's
+        omniscient view); the result contains only in-range, unoccluded
+        vehicles, excluding the ego itself.
+        """
+        candidates = {vid: state for vid, state in world.items()
+                      if vid != ego_id and self.in_range(ego, state, road)}
+        observed: dict[str, VehicleState] = {}
+        for vid, state in candidates.items():
+            if not self.is_occluded(ego, state, candidates, road, target_id=vid):
+                observed[vid] = self._measure(state)
+        return observed
+
+    def _measure(self, state: VehicleState) -> VehicleState:
+        """Apply measurement noise to a detected state."""
+        if self.position_noise == 0.0 and self.velocity_noise == 0.0:
+            return state
+        return VehicleState(
+            lat=state.lat,
+            lon=state.lon + float(self._noise_rng.normal(0.0, self.position_noise)),
+            v=max(state.v + float(self._noise_rng.normal(0.0, self.velocity_noise)), 0.0),
+        )

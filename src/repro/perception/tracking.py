@@ -1,0 +1,82 @@
+"""Observation tracking: per-vehicle history buffers fed by the sensor.
+
+The predictor needs the last ``z`` observed states of every currently
+visible vehicle.  Vehicles enter and leave the field of view, so the
+buffer pads short tracks by repeating their earliest observation (a
+sensor that just acquired a track knows nothing older) and prunes
+tracks that have been invisible for longer than the history window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..sim import constants
+from ..sim.vehicle import VehicleState
+
+__all__ = ["ObservationBuffer"]
+
+
+class ObservationBuffer:
+    """Rolling per-vehicle observation store.
+
+    Parameters
+    ----------
+    history_steps:
+        Window length z (paper: 5).
+    max_gap:
+        How many consecutive unobserved steps a track survives before
+        being dropped.
+    """
+
+    def __init__(self, history_steps: int = constants.HISTORY_STEPS, max_gap: int = 2) -> None:
+        if history_steps < 1:
+            raise ValueError("history window must contain at least one step")
+        self.history_steps = history_steps
+        self.max_gap = max_gap
+        self._tracks: dict[str, deque[VehicleState]] = {}
+        self._last_seen: dict[str, int] = {}
+        self._step = -1
+
+    def update(self, observed: dict[str, VehicleState]) -> None:
+        """Ingest one sensor frame; advances the internal step counter."""
+        self._step += 1
+        for vid, state in observed.items():
+            track = self._tracks.setdefault(vid, deque(maxlen=self.history_steps))
+            track.append(state)
+            self._last_seen[vid] = self._step
+        stale = [vid for vid, seen in self._last_seen.items()
+                 if self._step - seen > self.max_gap]
+        for vid in stale:
+            del self._tracks[vid]
+            del self._last_seen[vid]
+
+    def history(self, vid: str) -> list[VehicleState]:
+        """Last z states of ``vid`` (oldest first), front-padded by repetition."""
+        track = list(self._tracks[vid])
+        if len(track) < self.history_steps:
+            track = [track[0]] * (self.history_steps - len(track)) + track
+        return track
+
+    def tracked_ids(self) -> list[str]:
+        """Ids with a live track, sorted."""
+        return sorted(self._tracks)
+
+    def current_ids(self) -> list[str]:
+        """Ids observed in the most recent frame, sorted.
+
+        Stale tracks (kept briefly for re-acquisition) are excluded:
+        their last state is up to ``max_gap`` steps old, so they must
+        not be treated as current observations.
+        """
+        return sorted(vid for vid, seen in self._last_seen.items()
+                      if seen == self._step)
+
+    def __contains__(self, vid: str) -> bool:
+        return vid in self._tracks
+
+    def reset(self) -> None:
+        """Drop all tracks (start of a new episode)."""
+        self._tracks.clear()
+        self._last_seen.clear()
+        self._step = -1

@@ -1,0 +1,45 @@
+"""Traffic constants shared across the simulator (paper Section V-A).
+
+All values default to the paper's experimental settings; every consumer
+accepts overrides so experiments can rescale without touching code.
+"""
+
+from __future__ import annotations
+
+#: Time between consecutive decision steps (s); the paper fixes 0.5 s.
+DT = 0.5
+
+#: Width of one lane (m).
+LANE_WIDTH = 3.2
+
+#: Road speed limits (m/s): 5 km/h and 90 km/h.
+V_MIN = 5.0 / 3.6
+V_MAX = 90.0 / 3.6
+
+#: Acceleration bound a' (m/s^2); maneuvers use a in [-A_MAX, A_MAX].
+A_MAX = 3.0
+
+#: Physical vehicle length (m), a standard passenger-car value.
+VEHICLE_LENGTH = 5.0
+
+#: Maximum emergency deceleration (m/s^2) available to conventional
+#: vehicles in a near-collision, matching SUMO's emergencyDecel
+#: (default 9, physical tire limit ~8-9).  Normal driving stays within
+#: [-A_MAX, A_MAX]; the autonomous vehicle's action space is always
+#: bounded by A_MAX (paper restriction 3).
+EMERGENCY_DECEL = 8.0
+
+#: Number of lanes kappa on the simulated road.
+NUM_LANES = 6
+
+#: Road length for end-to-end episodes (m).
+ROAD_LENGTH = 3000.0
+
+#: Traffic density (vehicles per km across all lanes).
+DENSITY_PER_KM = 180.0
+
+#: Sensor detection radius R (m).
+SENSOR_RANGE = 100.0
+
+#: Number of historical time steps z fed to the perception module.
+HISTORY_STEPS = 5

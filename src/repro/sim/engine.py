@@ -1,0 +1,380 @@
+"""Discrete-time microscopic traffic simulation engine (SUMO substitute).
+
+The engine advances all vehicles synchronously in 0.5 s steps.  Each
+step:
+
+1. externally controlled vehicles (the AV) receive a maneuver via
+   :meth:`SimulationEngine.set_maneuver`;
+2. every conventional vehicle picks a lane-change via MOBIL and an
+   acceleration via its car-following model, all based on the state at
+   time ``t``;
+3. states advance with the Eq. 18 kinematics, lane changes are
+   instantaneous single-lane hops (paper restriction 2);
+4. collisions (overlap in a lane, or driving off the road) are detected
+   and reported;
+5. vehicles that pass the road end are retired with their finish time.
+
+Per-vehicle state history is retained for the perception module.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass, field
+import numpy as np
+
+from . import constants
+from .carfollowing import CarFollowingModel, Krauss, free_road_gap
+from .lanechange import MOBIL
+from .road import Road
+from .vehicle import Vehicle, VehicleState
+
+__all__ = ["CollisionEvent", "SimulationEngine", "Maneuver"]
+
+#: Lane-change cooldown for conventional vehicles (steps); 2 s, keeps
+#: MOBIL from oscillating between lanes, similar to SUMO's LC holddown.
+LANE_CHANGE_COOLDOWN = 4
+
+
+@dataclass(frozen=True)
+class Maneuver:
+    """External maneuver command: lane delta in {-1, 0, +1} and acceleration."""
+
+    lane_delta: int
+    accel: float
+
+
+@dataclass(frozen=True)
+class CollisionEvent:
+    """A detected collision at a time step.
+
+    ``kind`` is ``"crash"`` for vehicle-vehicle overlap and
+    ``"boundary"`` for leaving the road laterally.
+    """
+
+    step: int
+    vehicle_id: str
+    other_id: str | None
+    kind: str
+
+
+@dataclass
+class _LaneIndex:
+    """Sorted per-lane position index for leader/follower queries."""
+
+    positions: list[float] = field(default_factory=list)
+    vehicles: list[Vehicle] = field(default_factory=list)
+
+
+class SimulationEngine:
+    """Owns vehicles and advances the world clock.
+
+    Parameters
+    ----------
+    road:
+        Road geometry and speed limits.
+    car_following:
+        Model used by conventional vehicles (Krauss by default, matching
+        SUMO).
+    rng:
+        Seeded generator driving stochastic driver imperfection.
+    history_length:
+        Number of past states retained per vehicle for perception.
+    """
+
+    def __init__(self, road: Road | None = None,
+                 car_following: CarFollowingModel | None = None,
+                 rng: np.random.Generator | None = None,
+                 history_length: int = constants.HISTORY_STEPS + 1) -> None:
+        self.road = road or Road()
+        self.car_following = car_following or Krauss()
+        self.lane_change = MOBIL(self.car_following)
+        self.rng = rng or np.random.default_rng()
+        self.history_length = history_length
+        self.step_count = 0
+        self.vehicles: dict[str, Vehicle] = {}
+        self.history: dict[str, deque[VehicleState]] = {}
+        self.collisions: list[CollisionEvent] = []
+        self.retired: dict[str, Vehicle] = {}
+        self._pending: dict[str, Maneuver] = {}
+        self._lane_index: dict[int, _LaneIndex] = {}
+        self._index_dirty = True
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add_vehicle(self, vehicle: Vehicle) -> Vehicle:
+        """Register a vehicle; raises on duplicate ids or invalid lanes."""
+        if vehicle.vid in self.vehicles:
+            raise ValueError(f"duplicate vehicle id {vehicle.vid!r}")
+        if not self.road.is_valid_lane(vehicle.lane):
+            raise ValueError(f"vehicle {vehicle.vid!r} placed on invalid lane {vehicle.lane}")
+        vehicle.spawn_time = self.step_count
+        self.vehicles[vehicle.vid] = vehicle
+        self.history[vehicle.vid] = deque([vehicle.state], maxlen=self.history_length)
+        self._index_dirty = True
+        return vehicle
+
+    def remove_vehicle(self, vid: str) -> None:
+        """Retire a vehicle (e.g. it finished the road)."""
+        vehicle = self.vehicles.pop(vid, None)
+        if vehicle is not None:
+            self.retired[vid] = vehicle
+            self._index_dirty = True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, vid: str) -> Vehicle:
+        """Return a live vehicle by id."""
+        return self.vehicles[vid]
+
+    def active_vehicles(self) -> list[Vehicle]:
+        """Return live vehicles sorted by id for deterministic iteration."""
+        return [self.vehicles[vid] for vid in sorted(self.vehicles)]
+
+    def _rebuild_index(self) -> None:
+        self._lane_index = {lane: _LaneIndex() for lane in range(1, self.road.num_lanes + 1)}
+        for vehicle in self.vehicles.values():
+            index = self._lane_index.setdefault(vehicle.lane, _LaneIndex())
+            position = bisect.bisect_left(index.positions, vehicle.lon)
+            index.positions.insert(position, vehicle.lon)
+            index.vehicles.insert(position, vehicle)
+        self._index_dirty = False
+
+    def leader_in_lane(self, lane: int, lon: float, exclude: str | None = None) -> Vehicle | None:
+        """Nearest vehicle strictly ahead of ``lon`` in ``lane``."""
+        if self._index_dirty:
+            self._rebuild_index()
+        index = self._lane_index.get(lane)
+        if index is None:
+            return None
+        position = bisect.bisect_right(index.positions, lon)
+        while position < len(index.vehicles):
+            candidate = index.vehicles[position]
+            if candidate.vid != exclude and candidate.lon > lon:
+                return candidate
+            position += 1
+        return None
+
+    def follower_in_lane(self, lane: int, lon: float, exclude: str | None = None) -> Vehicle | None:
+        """Nearest vehicle strictly behind ``lon`` in ``lane``."""
+        if self._index_dirty:
+            self._rebuild_index()
+        index = self._lane_index.get(lane)
+        if index is None:
+            return None
+        position = bisect.bisect_left(index.positions, lon) - 1
+        while position >= 0:
+            candidate = index.vehicles[position]
+            if candidate.vid != exclude and candidate.lon < lon:
+                return candidate
+            position -= 1
+        return None
+
+    def leader_of(self, vehicle: Vehicle, lane: int | None = None) -> Vehicle | None:
+        """Leader of ``vehicle`` in its own (or a given) lane."""
+        return self.leader_in_lane(lane if lane is not None else vehicle.lane,
+                                   vehicle.lon, exclude=vehicle.vid)
+
+    def follower_of(self, vehicle: Vehicle, lane: int | None = None) -> Vehicle | None:
+        """Follower of ``vehicle`` in its own (or a given) lane."""
+        return self.follower_in_lane(lane if lane is not None else vehicle.lane,
+                                     vehicle.lon, exclude=vehicle.vid)
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def set_maneuver(self, vid: str, lane_delta: int, accel: float) -> None:
+        """Command an externally controlled vehicle for the next step.
+
+        Accelerations are clipped to the paper's [-a', a'] restriction;
+        lane deltas must be in {-1, 0, +1} (restriction 2).
+        """
+        if lane_delta not in (-1, 0, 1):
+            raise ValueError("lane_delta must be -1, 0 or +1")
+        accel = min(max(accel, -constants.A_MAX), constants.A_MAX)
+        self._pending[vid] = Maneuver(lane_delta, accel)
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self) -> list[CollisionEvent]:
+        """Advance the world by one 0.5 s step; return new collisions."""
+        if self._index_dirty:
+            self._rebuild_index()
+
+        decisions: dict[str, Maneuver] = {}
+        for vehicle in self.active_vehicles():
+            if vehicle.vid in self._pending:
+                decisions[vehicle.vid] = self._pending[vehicle.vid]
+            elif not vehicle.is_autonomous:
+                decisions[vehicle.vid] = self._conventional_decision(vehicle)
+            else:
+                decisions[vehicle.vid] = Maneuver(0, 0.0)
+
+        new_collisions = self._apply(decisions)
+        self._pending.clear()
+        self.step_count += 1
+        return new_collisions
+
+    def _conventional_decision(self, vehicle: Vehicle) -> Maneuver:
+        leader = self.leader_of(vehicle)
+        lane_delta = 0
+        if vehicle.cooldown > 0:
+            vehicle.cooldown -= 1
+        else:
+            left = self._adjacent(vehicle, -1)
+            right = self._adjacent(vehicle, +1)
+            lane_delta = self.lane_change.decide(vehicle, leader, left, right)
+            if lane_delta != 0:
+                vehicle.cooldown = LANE_CHANGE_COOLDOWN
+                leader = self.leader_of(vehicle, vehicle.lane + lane_delta)
+
+        gap = vehicle.gap_to(leader) if leader is not None else free_road_gap()
+        leader_v = leader.v if leader is not None else 0.0
+        accel = self.car_following.acceleration(vehicle.v, leader_v, gap, vehicle.profile)
+        # Seeded driver imperfection (Krauss sigma): occasionally dawdle.
+        if vehicle.profile.imperfection > 0 and self.rng.random() < vehicle.profile.imperfection:
+            accel -= self.rng.random() * 0.5 * vehicle.profile.max_accel
+        accel = min(max(accel, -constants.A_MAX), constants.A_MAX)
+        accel = self._emergency_brake(vehicle, leader, accel)
+        return Maneuver(lane_delta, accel)
+
+    @staticmethod
+    def _emergency_brake(vehicle: Vehicle, leader: Vehicle | None,
+                         accel: float) -> float:
+        """Allow a CV to exceed comfortable braking in a near-collision.
+
+        SUMO's emergencyDecel semantics: when the closing speed and gap
+        demand more than the comfortable bound to avoid running into the
+        leader (e.g. a vehicle just cut in), brake as hard as the tires
+        allow.  The criterion is the constant-deceleration stopping
+        envelope ``closing^2 / (2 * gap)`` plus a reaction-step margin.
+        """
+        if leader is None:
+            return accel
+        gap = vehicle.gap_to(leader)
+        closing = vehicle.v - leader.v
+        if gap <= 0.0 or closing <= 0.0:
+            return accel
+        # Gap available after one more reaction step at current speeds.
+        effective_gap = max(gap - closing * constants.DT - 0.3, 0.1)
+        required = closing * closing / (2.0 * effective_gap)
+        if required <= constants.A_MAX:
+            return accel
+        return -min(required, constants.EMERGENCY_DECEL)
+
+    def _adjacent(self, vehicle: Vehicle, direction: int) -> tuple[Vehicle | None, Vehicle | None] | None:
+        lane = vehicle.lane + direction
+        if not self.road.is_valid_lane(lane):
+            return None
+        return (self.leader_of(vehicle, lane), self.follower_of(vehicle, lane))
+
+    def _resolve_lane_conflicts(self, decisions: dict[str, Maneuver]) -> dict[str, Maneuver]:
+        """Cancel CV lane changes that would collide with concurrent movers.
+
+        Decisions are made synchronously from the state at ``t``, so two
+        vehicles can legitimately claim the same target gap.  Lane-keepers
+        claim their predicted interval first; changers then abort (keep
+        lane) when their interval overlaps an existing claim.  The AV's
+        command is never overridden -- unsafe AV maneuvers must produce
+        collisions so the reward can penalize them.
+        """
+        margin = 1.0
+        claims: dict[int, list[tuple[float, float]]] = {}
+        resolved = dict(decisions)
+
+        def predicted_interval(vehicle: Vehicle, maneuver: Maneuver) -> tuple[float, float]:
+            lon = vehicle.lon + vehicle.v * constants.DT + 0.5 * maneuver.accel * constants.DT ** 2
+            return (lon - vehicle.length - margin, lon + margin)
+
+        changers: list[str] = []
+        for vid in sorted(decisions):
+            vehicle = self.vehicles.get(vid)
+            if vehicle is None:
+                continue
+            maneuver = decisions[vid]
+            if maneuver.lane_delta == 0 or vehicle.is_autonomous:
+                lane = vehicle.lane + maneuver.lane_delta
+                claims.setdefault(lane, []).append(predicted_interval(vehicle, maneuver))
+            else:
+                changers.append(vid)
+
+        for vid in changers:
+            vehicle = self.vehicles[vid]
+            maneuver = decisions[vid]
+            target = vehicle.lane + maneuver.lane_delta
+            interval = predicted_interval(vehicle, maneuver)
+            overlapping = any(interval[0] < hi and lo < interval[1]
+                              for lo, hi in claims.get(target, []))
+            if overlapping:
+                resolved[vid] = Maneuver(0, maneuver.accel)
+                vehicle.cooldown = 0
+                claims.setdefault(vehicle.lane, []).append(predicted_interval(vehicle, resolved[vid]))
+            else:
+                claims.setdefault(target, []).append(interval)
+        return resolved
+
+    def _apply(self, decisions: dict[str, Maneuver]) -> list[CollisionEvent]:
+        new_events: list[CollisionEvent] = []
+        decisions = self._resolve_lane_conflicts(decisions)
+        for vid, maneuver in decisions.items():
+            vehicle = self.vehicles.get(vid)
+            if vehicle is None:
+                continue
+            target_lane = vehicle.lane + maneuver.lane_delta
+            if not self.road.is_valid_lane(target_lane):
+                event = CollisionEvent(self.step_count, vid, None, "boundary")
+                new_events.append(event)
+                self.collisions.append(event)
+                target_lane = vehicle.lane  # stay on road after recording
+                maneuver = Maneuver(0, maneuver.accel)
+            v_floor = self.road.v_min if vehicle.is_autonomous else 0.0
+            vehicle.prev_accel = vehicle.accel
+            vehicle.accel = maneuver.accel
+            vehicle.state = vehicle.state.advanced(
+                maneuver.lane_delta, maneuver.accel,
+                v_min=v_floor, v_max=self.road.v_max)
+            self.history[vid].append(vehicle.state)
+
+        self._index_dirty = True
+        new_events.extend(self._detect_crashes())
+
+        for vehicle in list(self.vehicles.values()):
+            if vehicle.lon >= self.road.length:
+                vehicle.finish_time = self.step_count + 1
+                self.remove_vehicle(vehicle.vid)
+        return new_events
+
+    def _detect_crashes(self) -> list[CollisionEvent]:
+        if self._index_dirty:
+            self._rebuild_index()
+        events: list[CollisionEvent] = []
+        for index in self._lane_index.values():
+            for follower, leader in zip(index.vehicles[:-1], index.vehicles[1:]):
+                if follower.gap_to(leader) < 0.0:
+                    event = CollisionEvent(self.step_count, follower.vid, leader.vid, "crash")
+                    events.append(event)
+                    self.collisions.append(event)
+        return events
+
+    # ------------------------------------------------------------------
+    # history access (used by the perception module)
+    # ------------------------------------------------------------------
+    def state_history(self, vid: str, steps: int) -> list[VehicleState]:
+        """Return the most recent ``steps`` states (oldest first).
+
+        Pads by repeating the oldest known state when the vehicle has
+        been alive for fewer steps, which mirrors a sensor that has just
+        acquired a track.
+        """
+        recorded = list(self.history[vid])[-steps:]
+        if len(recorded) < steps:
+            recorded = [recorded[0]] * (steps - len(recorded)) + recorded
+        return recorded
+
+    def density_per_km(self) -> float:
+        """Current total vehicle density across all lanes (veh/km)."""
+        return len(self.vehicles) / (self.road.length / 1000.0)

@@ -1,0 +1,118 @@
+"""MOBIL-style lane-change model for conventional vehicles.
+
+Implements the incentive + safety criterion of MOBIL (Kesting et al.),
+which approximates SUMO's LC2013 behaviour for straight multi-lane
+roads: a vehicle changes lane when the acceleration it would gain
+exceeds a threshold after discounting (politeness-weighted) the
+disadvantage imposed on the new follower, and only when the new
+follower would not need to brake harder than a safe limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .carfollowing import CarFollowingModel, free_road_gap
+from .vehicle import DriverProfile, Vehicle
+
+__all__ = ["LaneChangeDecision", "MOBIL"]
+
+#: Maximum deceleration (m/s^2) a lane change may impose on the new
+#: follower or require from the changer.  Must be strictly below the
+#: physical bound A_MAX: model accelerations are clamped to [-A_MAX,
+#: A_MAX], so a threshold at A_MAX could never reject anything.
+SAFE_DECEL = 2.0
+
+
+@dataclass(frozen=True)
+class LaneChangeDecision:
+    """Outcome of a lane-change evaluation: target delta and incentive."""
+
+    lane_delta: int
+    incentive: float
+
+
+class MOBIL:
+    """Minimize Overall Braking Induced by Lane changes.
+
+    Parameters
+    ----------
+    model:
+        The car-following model used to score hypothetical accelerations.
+    safe_decel:
+        Hard safety bound on the deceleration imposed on the new follower.
+    """
+
+    def __init__(self, model: CarFollowingModel, safe_decel: float = SAFE_DECEL) -> None:
+        self.model = model
+        self.safe_decel = safe_decel
+
+    def evaluate(self, vehicle: Vehicle,
+                 current_leader: Vehicle | None,
+                 side_leader: Vehicle | None,
+                 side_follower: Vehicle | None,
+                 lane_delta: int) -> LaneChangeDecision:
+        """Score one candidate adjacent lane.
+
+        Returns a decision whose ``incentive`` is ``-inf`` when the
+        safety criterion fails, so callers can pick the argmax across
+        candidates and compare against the driver threshold.
+        """
+        profile = vehicle.profile
+
+        own_now = self._accel(vehicle, current_leader, profile)
+        own_new = self._accel(vehicle, side_leader, profile)
+
+        if side_follower is not None:
+            gap_after = vehicle.rear - side_follower.lon
+            if gap_after <= max(side_follower.profile.min_gap, 1.0):
+                return LaneChangeDecision(lane_delta, float("-inf"))
+            follower_after = self.model.acceleration(
+                side_follower.v, vehicle.v, gap_after, side_follower.profile)
+            if follower_after < -self.safe_decel:
+                return LaneChangeDecision(lane_delta, float("-inf"))
+            follower_before_gap = (side_leader.rear - side_follower.lon
+                                   if side_leader is not None else free_road_gap())
+            follower_before = self.model.acceleration(
+                side_follower.v,
+                side_leader.v if side_leader is not None else 0.0,
+                follower_before_gap, side_follower.profile)
+            follower_cost = follower_before - follower_after
+        else:
+            follower_cost = 0.0
+
+        if side_leader is not None and vehicle.gap_to(side_leader) <= max(profile.min_gap, 1.0):
+            return LaneChangeDecision(lane_delta, float("-inf"))
+        # The changer itself must not need an emergency brake in the new lane.
+        if own_new < -self.safe_decel:
+            return LaneChangeDecision(lane_delta, float("-inf"))
+
+        incentive = (own_new - own_now) - profile.politeness * follower_cost
+        return LaneChangeDecision(lane_delta, incentive)
+
+    def decide(self, vehicle: Vehicle,
+               leader: Vehicle | None,
+               left: tuple[Vehicle | None, Vehicle | None] | None,
+               right: tuple[Vehicle | None, Vehicle | None] | None) -> int:
+        """Choose a lane delta in {-1, 0, +1}.
+
+        ``left``/``right`` are ``(leader, follower)`` pairs in the
+        adjacent lanes, or ``None`` when that lane does not exist.
+        """
+        candidates: list[LaneChangeDecision] = []
+        if left is not None:
+            candidates.append(self.evaluate(vehicle, leader, left[0], left[1], -1))
+        if right is not None:
+            candidates.append(self.evaluate(vehicle, leader, right[0], right[1], +1))
+        if not candidates:
+            return 0
+        best = max(candidates, key=lambda decision: decision.incentive)
+        if best.incentive > vehicle.profile.lane_change_threshold:
+            return best.lane_delta
+        return 0
+
+    def _accel(self, vehicle: Vehicle, leader: Vehicle | None,
+               profile: DriverProfile) -> float:
+        gap = vehicle.gap_to(leader) if leader is not None else free_road_gap()
+        leader_v = leader.v if leader is not None else 0.0
+        return self.model.acceleration(vehicle.v, leader_v, gap, profile)

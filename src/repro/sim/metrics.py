@@ -1,0 +1,94 @@
+"""Macroscopic traffic-flow analytics for the simulator.
+
+The paper's motivation is traffic-level: poor maneuvers of single
+vehicles ripple into congestion.  These helpers measure the macroscopic
+state of a simulation -- density, space-mean speed, flow (the
+fundamental diagram quantities) and stop-and-go wave statistics -- so
+experiments can quantify traffic-level effects beyond the paper's
+per-vehicle metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .engine import SimulationEngine
+
+__all__ = ["FlowState", "measure_flow", "TimeSpaceRecorder"]
+
+
+@dataclass(frozen=True)
+class FlowState:
+    """Macroscopic snapshot of a road section."""
+
+    density_per_km: float     # vehicles per km (all lanes)
+    mean_speed: float         # space-mean speed (m/s)
+    flow_per_hour: float      # veh/h past a point (q = k * v)
+    stopped_fraction: float   # share of vehicles slower than 2 m/s
+
+    @property
+    def congested(self) -> bool:
+        """Rough congestion indicator: >15% of vehicles near standstill."""
+        return self.stopped_fraction > 0.15
+
+
+def measure_flow(engine: SimulationEngine,
+                 section: tuple[float, float] | None = None) -> FlowState:
+    """Compute the fundamental-diagram quantities for a road section.
+
+    Parameters
+    ----------
+    section:
+        ``(lon_min, lon_max)`` window; defaults to the whole road.
+    """
+    road = engine.road
+    lo, hi = section if section is not None else (0.0, road.length)
+    if hi <= lo:
+        raise ValueError("section must have positive length")
+    speeds = [vehicle.v for vehicle in engine.vehicles.values()
+              if lo <= vehicle.lon < hi]
+    length_km = (hi - lo) / 1000.0
+    density = len(speeds) / length_km if length_km > 0 else 0.0
+    mean_speed = float(np.mean(speeds)) if speeds else 0.0
+    flow = density * mean_speed * 3.6  # veh/km * m/s * 3.6 = veh/h
+    stopped = (sum(1 for v in speeds if v < 2.0) / len(speeds)) if speeds else 0.0
+    return FlowState(density_per_km=density, mean_speed=mean_speed,
+                     flow_per_hour=flow, stopped_fraction=stopped)
+
+
+class TimeSpaceRecorder:
+    """Collect per-step (time, position, speed) points for wave analysis.
+
+    Produces the raw data of a time-space diagram; the backward-moving
+    low-speed bands in it are the stop-and-go waves the paper's impact
+    reward is designed to dampen.
+    """
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.positions: list[float] = []
+        self.speeds: list[float] = []
+
+    def record(self, engine: SimulationEngine) -> None:
+        """Snapshot every vehicle at the engine's current step."""
+        from . import constants
+
+        now = engine.step_count * constants.DT
+        for vehicle in engine.vehicles.values():
+            self.times.append(now)
+            self.positions.append(vehicle.lon)
+            self.speeds.append(vehicle.v)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (times, positions, speeds) as numpy arrays."""
+        return (np.asarray(self.times), np.asarray(self.positions),
+                np.asarray(self.speeds))
+
+    def slow_zone_fraction(self, threshold: float = 5.0) -> float:
+        """Share of recorded points below the speed threshold."""
+        if not self.speeds:
+            return 0.0
+        speeds = np.asarray(self.speeds)
+        return float((speeds < threshold).mean())

@@ -1,0 +1,48 @@
+"""Plain-text rendering of simulation state.
+
+A debugging aid used by the examples and handy in tests: draws a window
+of the road around a focus vehicle as fixed-width lanes, one character
+cell per few meters.
+"""
+
+from __future__ import annotations
+
+from .engine import SimulationEngine
+from .vehicle import Vehicle
+
+__all__ = ["render_window"]
+
+
+def render_window(engine: SimulationEngine, focus_id: str,
+                  half_width: float = 60.0, cell_meters: float = 4.0) -> str:
+    """Render lanes around ``focus_id`` as ASCII art.
+
+    The focus vehicle draws as ``A``, conventional vehicles as ``v``;
+    the window spans ``focus.lon +/- half_width`` left-to-right in the
+    direction of travel.
+
+    Example output (3 lanes)::
+
+        lane 1 | . . v . . . . . . v . . . . |
+        lane 2 | . . . . . v . A . . . . v . |
+        lane 3 | v . . . . . . . . . . . . . |
+    """
+    focus = engine.get(focus_id)
+    cells = int(2 * half_width / cell_meters) + 1
+    origin = focus.lon - half_width
+    grid = {lane: ["."] * cells for lane in range(1, engine.road.num_lanes + 1)}
+
+    def place(vehicle: Vehicle, glyph: str) -> None:
+        index = int((vehicle.lon - origin) / cell_meters)
+        if 0 <= index < cells and vehicle.lane in grid:
+            grid[vehicle.lane][index] = glyph
+
+    for vehicle in engine.vehicles.values():
+        if vehicle.vid != focus_id and abs(vehicle.lon - focus.lon) <= half_width:
+            place(vehicle, "v")
+    place(focus, "A")
+
+    lines = [f"lane {lane} | {' '.join(row)} |" for lane, row in sorted(grid.items())]
+    header = (f"t={engine.step_count * 0.5:6.1f}s  {focus_id}: "
+              f"lane {focus.lane}, lon {focus.lon:.1f} m, v {focus.v:.1f} m/s")
+    return "\n".join([header] + lines)

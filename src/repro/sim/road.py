@@ -1,0 +1,45 @@
+"""Road geometry: a straight multi-lane segment with numbered lanes.
+
+Lanes are numbered 1..num_lanes from leftmost to rightmost, matching the
+paper's convention (Section II-A); longitudinal positions run from 0 at
+the origin to ``length`` at the destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import constants
+
+__all__ = ["Road"]
+
+
+@dataclass(frozen=True)
+class Road:
+    """Immutable description of the simulated road segment."""
+
+    length: float = constants.ROAD_LENGTH
+    num_lanes: int = constants.NUM_LANES
+    lane_width: float = constants.LANE_WIDTH
+    v_min: float = constants.V_MIN
+    v_max: float = constants.V_MAX
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("road length must be positive")
+        if self.num_lanes < 1:
+            raise ValueError("road needs at least one lane")
+        if not 0 <= self.v_min < self.v_max:
+            raise ValueError("speed limits must satisfy 0 <= v_min < v_max")
+
+    def is_valid_lane(self, lane: int) -> bool:
+        """Return True when ``lane`` is a drivable lane number."""
+        return 1 <= lane <= self.num_lanes
+
+    def clamp_speed(self, velocity: float) -> float:
+        """Clamp a velocity to the legal [v_min, v_max] range."""
+        return min(max(velocity, self.v_min), self.v_max)
+
+    def lateral_offset(self, lane_a: int, lane_b: int) -> float:
+        """Signed lateral distance (m) from lane_b to lane_a (Eq. 2)."""
+        return (lane_a - lane_b) * self.lane_width

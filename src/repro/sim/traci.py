@@ -1,0 +1,98 @@
+"""TraCI-like control facade over the simulation engine.
+
+The paper couples HEAD to SUMO through TraCI ("retrieve values of
+simulated objects and manipulate their behaviors online").  This module
+exposes the same interaction style -- domain objects with getters and
+online setters plus ``simulationStep`` -- so code written against the
+paper's description maps one-to-one onto this simulator.
+"""
+
+from __future__ import annotations
+
+from .engine import CollisionEvent, SimulationEngine
+
+__all__ = ["TraCI"]
+
+
+class _VehicleDomain:
+    """``traci.vehicle``-style accessor bound to an engine."""
+
+    def __init__(self, engine: SimulationEngine) -> None:
+        self._engine = engine
+
+    def getIDList(self) -> list[str]:
+        """Ids of all vehicles currently in the simulation."""
+        return sorted(self._engine.vehicles)
+
+    def getLaneIndex(self, vid: str) -> int:
+        """Lane number (1 = leftmost), the paper's ``.lat``."""
+        return self._engine.get(vid).lane
+
+    def getLanePosition(self, vid: str) -> float:
+        """Longitudinal position from the origin (m), the paper's ``.lon``."""
+        return self._engine.get(vid).lon
+
+    def getSpeed(self, vid: str) -> float:
+        """Longitudinal velocity (m/s)."""
+        return self._engine.get(vid).v
+
+    def getAcceleration(self, vid: str) -> float:
+        """Acceleration commanded at the previous step (m/s^2)."""
+        return self._engine.get(vid).accel
+
+    def getLeader(self, vid: str) -> tuple[str, float] | None:
+        """``(leader_id, gap)`` in the vehicle's lane, or None."""
+        vehicle = self._engine.get(vid)
+        leader = self._engine.leader_of(vehicle)
+        if leader is None:
+            return None
+        return leader.vid, vehicle.gap_to(leader)
+
+    def getFollower(self, vid: str) -> tuple[str, float] | None:
+        """``(follower_id, gap)`` in the vehicle's lane, or None."""
+        vehicle = self._engine.get(vid)
+        follower = self._engine.follower_of(vehicle)
+        if follower is None:
+            return None
+        return follower.vid, follower.gap_to(vehicle)
+
+    def setManeuver(self, vid: str, lane_delta: int, accel: float) -> None:
+        """Command a parameterized maneuver for the next step."""
+        self._engine.set_maneuver(vid, lane_delta, accel)
+
+    def remove(self, vid: str) -> None:
+        """Remove a vehicle from the simulation."""
+        self._engine.remove_vehicle(vid)
+
+
+class _SimulationDomain:
+    """``traci.simulation``-style accessor bound to an engine."""
+
+    def __init__(self, engine: SimulationEngine) -> None:
+        self._engine = engine
+
+    def getTime(self) -> float:
+        """Simulated wall time in seconds."""
+        from . import constants
+        return self._engine.step_count * constants.DT
+
+    def getCollisions(self) -> list[CollisionEvent]:
+        """All collision events recorded so far."""
+        return list(self._engine.collisions)
+
+    def getMinExpectedNumber(self) -> int:
+        """Number of vehicles still in the network (SUMO semantics)."""
+        return len(self._engine.vehicles)
+
+
+class TraCI:
+    """Top-level facade: ``traci.vehicle``, ``traci.simulation``, stepping."""
+
+    def __init__(self, engine: SimulationEngine) -> None:
+        self.engine = engine
+        self.vehicle = _VehicleDomain(engine)
+        self.simulation = _SimulationDomain(engine)
+
+    def simulationStep(self) -> list[CollisionEvent]:
+        """Advance the simulation one step; return new collision events."""
+        return self.engine.step()

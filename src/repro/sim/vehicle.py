@@ -1,0 +1,95 @@
+"""Vehicle state containers.
+
+A vehicle carries kinematic state (lane, longitudinal position,
+velocity), the most recent commanded acceleration (needed by the jerk
+comfort term), and driver-model parameters for conventional vehicles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import constants
+
+__all__ = ["VehicleState", "Vehicle", "DriverProfile"]
+
+
+@dataclass(frozen=True)
+class VehicleState:
+    """Immutable kinematic snapshot of one vehicle at one time step.
+
+    ``lat`` is the lane number (paper's ``.lat``), ``lon`` the distance
+    from the road origin (paper's ``.lon``), ``v`` the longitudinal
+    velocity.
+    """
+
+    lat: int
+    lon: float
+    v: float
+
+    def advanced(self, lane_delta: int, accel: float, dt: float = constants.DT,
+                 v_min: float = 0.0, v_max: float = constants.V_MAX) -> "VehicleState":
+        """Return the next state under Eq. 18 kinematics.
+
+        Velocity is clamped to ``[v_min, v_max]`` after integration; the
+        position update uses the commanded acceleration for the full
+        step, matching the paper's transition model.
+        """
+        new_v = min(max(self.v + accel * dt, v_min), v_max)
+        new_lon = self.lon + self.v * dt + 0.5 * accel * dt * dt
+        return VehicleState(lat=self.lat + lane_delta, lon=new_lon, v=new_v)
+
+
+@dataclass
+class DriverProfile:
+    """Heterogeneous human-driver parameters for conventional vehicles.
+
+    Randomizing these per vehicle produces the diverse, NGSIM-like
+    traffic mix the paper evaluates in (and generates REAL from).
+    """
+
+    desired_speed: float = constants.V_MAX
+    time_headway: float = 1.5
+    min_gap: float = 2.0
+    max_accel: float = 2.0
+    comfort_decel: float = 2.5
+    politeness: float = 0.3
+    lane_change_threshold: float = 0.2
+    imperfection: float = 0.2
+
+
+@dataclass
+class Vehicle:
+    """Mutable vehicle record owned by the simulation engine."""
+
+    vid: str
+    state: VehicleState
+    length: float = constants.VEHICLE_LENGTH
+    is_autonomous: bool = False
+    profile: DriverProfile = field(default_factory=DriverProfile)
+    accel: float = 0.0
+    prev_accel: float = 0.0
+    spawn_time: int = 0
+    finish_time: int | None = None
+    cooldown: int = 0
+
+    @property
+    def lane(self) -> int:
+        return self.state.lat
+
+    @property
+    def lon(self) -> float:
+        return self.state.lon
+
+    @property
+    def v(self) -> float:
+        return self.state.v
+
+    @property
+    def rear(self) -> float:
+        """Longitudinal position of the rear bumper."""
+        return self.state.lon - self.length
+
+    def gap_to(self, leader: "Vehicle") -> float:
+        """Bumper-to-bumper gap to a leader in the same lane (m)."""
+        return leader.rear - self.state.lon

@@ -1,0 +1,87 @@
+"""Tests for trajectory recording and the REAL dataset substitute."""
+
+import numpy as np
+import pytest
+
+from repro.data import (REAL_SEGMENT_LENGTH, TrajectorySet,
+                        generate_real_dataset, record_trajectories)
+from repro.sim import Road, SimulationEngine, Vehicle, VehicleState, populate_traffic
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_real_dataset(seed=9, steps=80, density_per_km=120)
+
+
+def test_real_defaults_match_paper_segment(dataset):
+    assert dataset.road.length == pytest.approx(REAL_SEGMENT_LENGTH)
+    assert dataset.road.num_lanes == 6
+    assert len(dataset) == 80
+
+
+def test_density_maintained_by_inflow(dataset):
+    sizes = [len(snapshot) for snapshot in dataset.snapshots]
+    assert min(sizes) > 0.6 * max(sizes)
+
+
+def test_generation_reproducible():
+    a = generate_real_dataset(seed=4, steps=20, density_per_km=100)
+    b = generate_real_dataset(seed=4, steps=20, density_per_km=100)
+    assert a.snapshots[10] == b.snapshots[10]
+
+
+def test_slowdown_events_create_braking(dataset):
+    """Some vehicle must decelerate hard somewhere in the recording."""
+    hard_brakes = 0
+    for earlier, later in zip(dataset.snapshots[:-1], dataset.snapshots[1:]):
+        for vid, state in later.items():
+            if vid in earlier and earlier[vid].v - state.v > 0.75:
+                hard_brakes += 1
+    assert hard_brakes > 0
+
+
+def test_presence_span(dataset):
+    vid = dataset.vehicle_ids()[0]
+    first, last = dataset.presence_span(vid)
+    assert 0 <= first <= last < len(dataset)
+    assert vid in dataset.snapshots[first]
+    with pytest.raises(KeyError):
+        dataset.presence_span("nope")
+
+
+def test_split_chronological(dataset):
+    train, test = dataset.split(0.75)
+    assert len(train) == 60
+    assert len(test) == 20
+    assert train.snapshots[0] == dataset.snapshots[0]
+    with pytest.raises(ValueError):
+        dataset.split(1.5)
+
+
+def test_records_roundtrip(tmp_path, dataset):
+    path = dataset.save(tmp_path / "real")
+    loaded = TrajectorySet.load(path)
+    assert len(loaded) == len(dataset)
+    for t in (0, 40, 79):
+        assert len(loaded.snapshots[t]) == len(dataset.snapshots[t])
+        original = sorted((s.lat, round(s.lon, 9), round(s.v, 9))
+                          for s in dataset.snapshots[t].values())
+        restored = sorted((s.lat, round(s.lon, 9), round(s.v, 9))
+                          for s in loaded.snapshots[t].values())
+        assert original == restored
+
+
+def test_record_trajectories_live_engine():
+    engine = SimulationEngine(road=Road(length=300.0), rng=np.random.default_rng(0))
+    populate_traffic(engine, np.random.default_rng(0), density_per_km=60)
+    recorded = record_trajectories(engine, steps=10)
+    assert len(recorded) == 10
+    assert all(isinstance(s, dict) for s in recorded.snapshots)
+
+
+def test_to_records_schema(dataset):
+    records = dataset.to_records()
+    assert records.shape[1] == 5
+    assert records[:, 0].min() == 0
+    lanes = records[:, 2]
+    assert lanes.min() >= 1 and lanes.max() <= 6

@@ -1,0 +1,206 @@
+"""Tests for the driving environment, agents, policies and trainer."""
+
+import numpy as np
+import pytest
+
+from repro.decision import (ACCLCPolicy, AgentController, DrivingEnv, DRLSCAgent,
+                            DRLSCController, HybridReward, IDMLCPolicy,
+                            LaneBehavior, ParameterizedAction, PDDPGAgent,
+                            PDQNAgent, PQPAgent, TPBTSPolicy, train_agent)
+from repro.eval import evaluate_controller, run_episode, reward_statistics
+from repro.perception import EnhancedPerception
+from repro.sim import Road
+
+
+def make_env(max_steps=80, length=400.0, density=100):
+    perception = EnhancedPerception(predictor=None)
+    return DrivingEnv(perception, reward=HybridReward(), road=Road(length=length),
+                      density_per_km=density, max_steps=max_steps)
+
+
+class TestDrivingEnv:
+    def test_reset_returns_state(self):
+        env = make_env()
+        state = env.reset(0)
+        assert state.current.shape == (7, 4)
+        assert env.av is not None
+        assert env.av.lon == pytest.approx(0.0)
+
+    def test_reset_reproducible(self):
+        env = make_env()
+        a = env.reset(7)
+        b = env.reset(7)
+        np.testing.assert_allclose(a.current, b.current)
+
+    def test_step_before_reset_raises(self):
+        env = make_env()
+        with pytest.raises(RuntimeError):
+            env.step(ParameterizedAction(LaneBehavior.KEEP, 0.0))
+
+    def test_step_advances_and_records(self):
+        env = make_env()
+        env.reset(0)
+        state, breakdown, done, record = env.step(
+            ParameterizedAction(LaneBehavior.KEEP, 1.0))
+        assert record.step == 1
+        assert record.av_accel == pytest.approx(1.0)
+        assert isinstance(breakdown.total, float)
+        assert len(env.result.records) == 1
+
+    def test_boundary_collision_terminates(self):
+        env = make_env()
+        env.reset(0)
+        av = env.av
+        # drive off the road on whichever side is closer
+        delta = LaneBehavior.LEFT if av.lane == 1 else (
+            LaneBehavior.RIGHT if av.lane == env.road.num_lanes else None)
+        if delta is None:
+            for _ in range(10):
+                state, _, done, _ = env.step(ParameterizedAction(LaneBehavior.LEFT, 0.0))
+                if done:
+                    break
+        else:
+            _, _, done, _ = env.step(ParameterizedAction(delta, 0.0))
+            assert done
+        assert env.result.collided
+
+    def test_finishing_the_road(self):
+        env = make_env(max_steps=400, length=200.0, density=0)
+        env.reset(0)
+        done = False
+        steps = 0
+        while not done and steps < 400:
+            _, _, done, _ = env.step(ParameterizedAction(LaneBehavior.KEEP, 3.0))
+            steps += 1
+        assert env.result.finished
+        assert not env.result.collided
+
+    def test_step_after_done_raises(self):
+        env = make_env(max_steps=400, length=100.0, density=0)
+        env.reset(0)
+        done = False
+        while not done:
+            _, _, done, _ = env.step(ParameterizedAction(LaneBehavior.KEEP, 3.0))
+        with pytest.raises(RuntimeError):
+            env.step(ParameterizedAction(LaneBehavior.KEEP, 0.0))
+
+
+AGENTS = [
+    lambda rng: PDQNAgent(branched=True, hidden_dim=16, warmup=16,
+                          batch_size=8, rng=rng),
+    lambda rng: PDQNAgent(branched=False, hidden_dim=16, warmup=16,
+                          batch_size=8, rng=rng),
+    lambda rng: PQPAgent(hidden_dim=16, warmup=16, batch_size=8,
+                         phase_length=2, rng=rng),
+    lambda rng: PDDPGAgent(hidden_dim=16, warmup=16, batch_size=8, rng=rng),
+    lambda rng: DRLSCAgent(hidden_dim=16, warmup=16, batch_size=8, rng=rng),
+]
+AGENT_IDS = ["BP-DQN", "P-DQN", "P-QP", "P-DDPG", "DRL-SC"]
+
+
+@pytest.mark.parametrize("factory", AGENTS, ids=AGENT_IDS)
+def test_agent_acts_within_bounds(factory):
+    agent = factory(np.random.default_rng(0))
+    env = make_env()
+    state = env.reset(0)
+    for explore in (True, False):
+        action = agent.act(state, explore=explore)
+        assert action.behavior in LaneBehavior
+        assert abs(action.accel) <= 3.0 + 1e-9
+
+
+@pytest.mark.parametrize("factory", AGENTS, ids=AGENT_IDS)
+def test_agent_trains_one_episode(factory):
+    agent = factory(np.random.default_rng(0))
+    env = make_env(max_steps=30)
+    log = train_agent(agent, env, episodes=2)
+    assert log.episodes == 2
+    assert agent.total_steps > 0
+    assert len(agent.buffer) == agent.total_steps
+    losses = agent.learn()
+    assert losses is None or np.isfinite(losses["q_loss"])
+
+
+def test_pdqn_learning_reduces_td_error():
+    from repro.decision import Transition
+    rng = np.random.default_rng(1)
+    agent = PDQNAgent(branched=True, hidden_dim=16, warmup=16, batch_size=16, rng=rng)
+    env = make_env(max_steps=60)
+    train_agent(agent, env, episodes=4)
+    # Guarantee a warm buffer regardless of episode lengths.
+    state = env.reset(0)
+    while len(agent.buffer) < 32:
+        action = agent.act(state, explore=True)
+        next_state, breakdown, done, _ = env.step(action)
+        agent.observe(Transition(state=state, behavior=int(action.behavior),
+                                 accel=action.accel, reward=breakdown.total,
+                                 next_state=next_state, done=done,
+                                 aux=agent.last_aux()))
+        if done or next_state is None:
+            state = env.reset(1)
+        else:
+            state = next_state
+    first = agent.learn()["q_loss"]
+    last = first
+    for _ in range(60):
+        last = agent.learn()["q_loss"]
+    assert np.isfinite(last)
+    assert last < max(first, 1.0) * 5.0  # no divergence
+
+
+def test_epsilon_schedule_decays():
+    agent = PDQNAgent(branched=True, hidden_dim=8, rng=np.random.default_rng(0))
+    early = agent.epsilon.value(0)
+    late = agent.epsilon.value(10_000_000)
+    assert early == pytest.approx(1.0)
+    assert late == pytest.approx(0.05)
+
+
+POLICIES = [IDMLCPolicy, ACCLCPolicy, TPBTSPolicy]
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES, ids=lambda c: c.__name__)
+def test_rule_policies_complete_episodes_safely(policy_cls):
+    env = make_env(max_steps=100, length=500.0)
+    policy = policy_cls()
+    result = run_episode(policy, env, seed=3)
+    assert not result.collided
+    assert result.records
+
+
+def test_drlsc_controller_safety_check_vetoes_offroad():
+    env = make_env()
+    state = env.reset(2)
+    agent = DRLSCAgent(hidden_dim=8, rng=np.random.default_rng(0))
+    controller = DRLSCController(agent)
+    av = env.av
+    # Force a maneuver off the road and check the veto.
+    offroad = LaneBehavior.LEFT if av.lane == 1 else LaneBehavior.RIGHT
+    if (offroad is LaneBehavior.LEFT and av.lane == 1) or \
+       (offroad is LaneBehavior.RIGHT and av.lane == env.road.num_lanes):
+        checked = controller.safety_check(
+            env, ParameterizedAction(offroad, 0.0))
+        assert checked.behavior is LaneBehavior.KEEP
+
+
+def test_evaluate_controller_produces_report():
+    env = make_env(max_steps=60)
+    report = evaluate_controller(IDMLCPolicy(), env, seeds=range(3))
+    assert report.episodes == 3
+    assert report.avg_v_a > 0
+    assert report.avg_dt_a > 0
+
+
+def test_reward_statistics():
+    env = make_env(max_steps=40)
+    stats = reward_statistics(IDMLCPolicy(), env, seeds=range(2))
+    assert stats.min_reward <= stats.avg_reward <= stats.max_reward
+    assert stats.avg_inference_ms > 0
+
+
+def test_agent_controller_greedy():
+    agent = PDQNAgent(branched=True, hidden_dim=8, rng=np.random.default_rng(0))
+    controller = AgentController(agent, name="test")
+    env = make_env(max_steps=10)
+    result = run_episode(controller, env, seed=0)
+    assert result.records

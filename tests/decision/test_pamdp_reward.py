@@ -1,0 +1,172 @@
+"""Tests for the PAMDP formulation and the hybrid reward (Eqs. 15-17, 28-30)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.decision import (AugmentedState, HybridReward, LaneBehavior,
+                            ParameterizedAction, RewardWeights, StepOutcome,
+                            build_augmented_state)
+from repro.perception import EnhancedPerception
+from repro.sim import Road, SimulationEngine, Vehicle, VehicleState, constants
+
+
+class TestLaneBehavior:
+    def test_lane_deltas(self):
+        assert LaneBehavior.LEFT.lane_delta == -1
+        assert LaneBehavior.RIGHT.lane_delta == 1
+        assert LaneBehavior.KEEP.lane_delta == 0
+
+    def test_from_delta_roundtrip(self):
+        for behavior in LaneBehavior:
+            assert LaneBehavior.from_delta(behavior.lane_delta) is behavior
+
+    def test_ordering_matches_paper_x_out(self):
+        # Eq. 25 orders accelerations [ll, lr, lk].
+        assert [int(b) for b in (LaneBehavior.LEFT, LaneBehavior.RIGHT,
+                                 LaneBehavior.KEEP)] == [0, 1, 2]
+
+
+class TestParameterizedAction:
+    def test_accel_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            ParameterizedAction(LaneBehavior.KEEP, constants.A_MAX + 0.1)
+        action = ParameterizedAction(LaneBehavior.LEFT, -constants.A_MAX)
+        assert action.lane_delta == -1
+
+
+class TestAugmentedState:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            AugmentedState(np.zeros((6, 4)), np.zeros((6, 4)), np.ones(6))
+        with pytest.raises(ValueError):
+            AugmentedState(np.zeros((7, 4)), np.zeros((7, 4)), np.ones(6))
+
+    def test_flat_is_52_dims(self):
+        state = AugmentedState(np.ones((7, 4)), np.zeros((6, 4)), np.ones(6))
+        assert state.flat().shape == (52,)
+
+    def test_build_from_perception_frame(self):
+        road = Road(length=2000.0)
+        engine = SimulationEngine(road=road, rng=np.random.default_rng(0))
+        engine.add_vehicle(Vehicle("av", VehicleState(3, 500.0, 15.0),
+                                   is_autonomous=True))
+        engine.add_vehicle(Vehicle("front", VehicleState(3, 530.0, 12.0)))
+        perception = EnhancedPerception(predictor=None)
+        frame = perception.perceive(engine, "av")
+        state = build_augmented_state(frame)
+        assert state.current.shape == (7, 4)
+        assert state.future.shape == (6, 4)
+        # Row 0 is the ego reference (scaled raw state).
+        assert state.current[0, 2] == pytest.approx(15.0 / 25.0)
+        # Future half carries the per-target indicator in column 3.
+        assert set(np.unique(state.future[:, 3])) <= {0.0, 1.0}
+
+
+@pytest.fixture
+def reward():
+    return HybridReward()
+
+
+def outcome(**overrides):
+    defaults = dict(collided=False, ego_velocity_next=15.0, ego_accel=1.0,
+                    ego_accel_prev=1.0, front_gap_next=50.0,
+                    front_closing_speed=-1.0, rear_velocity_now=None,
+                    rear_velocity_next=None)
+    defaults.update(overrides)
+    return StepOutcome(**defaults)
+
+
+class TestSafetyReward:
+    def test_collision_is_minus_three(self, reward):
+        assert reward.safety(outcome(collided=True)) == -3.0
+
+    def test_opening_gap_is_zero(self, reward):
+        assert reward.safety(outcome(front_closing_speed=-2.0)) == 0.0
+
+    def test_large_ttc_is_zero(self, reward):
+        assert reward.safety(outcome(front_gap_next=100.0,
+                                     front_closing_speed=1.0)) == 0.0
+
+    def test_log_scaling_inside_threshold(self, reward):
+        # TTC = 2 s with G = 4 -> log(0.5)
+        value = reward.safety(outcome(front_gap_next=4.0, front_closing_speed=2.0))
+        assert value == pytest.approx(math.log(0.5))
+
+    def test_clipped_at_minus_three(self, reward):
+        value = reward.safety(outcome(front_gap_next=0.01, front_closing_speed=10.0))
+        assert value == -3.0
+
+    def test_masked_front(self, reward):
+        assert reward.safety(outcome(front_gap_next=None, front_closing_speed=None)) == 0.0
+
+
+class TestEfficiencyReward:
+    def test_bounds(self, reward):
+        assert reward.efficiency(outcome(ego_velocity_next=constants.V_MAX)) == 1.0
+        assert reward.efficiency(outcome(ego_velocity_next=constants.V_MIN)) == 0.0
+
+    def test_midpoint(self, reward):
+        mid = (constants.V_MIN + constants.V_MAX) / 2.0
+        assert reward.efficiency(outcome(ego_velocity_next=mid)) == pytest.approx(0.5)
+
+
+class TestComfortReward:
+    def test_no_jerk_is_zero(self, reward):
+        assert reward.comfort(outcome(ego_accel=1.0, ego_accel_prev=1.0)) == 0.0
+
+    def test_max_jerk_is_minus_one(self, reward):
+        value = reward.comfort(outcome(ego_accel=constants.A_MAX,
+                                       ego_accel_prev=-constants.A_MAX))
+        assert value == pytest.approx(-1.0)
+
+
+class TestImpactReward:
+    def test_below_threshold_is_zero(self, reward):
+        value = reward.impact(outcome(rear_velocity_now=10.0, rear_velocity_next=9.7))
+        assert value == 0.0
+
+    def test_hard_braking_penalized(self, reward):
+        value = reward.impact(outcome(rear_velocity_now=10.0, rear_velocity_next=8.0))
+        assert value == pytest.approx(-2.0 / (2 * constants.A_MAX * constants.DT))
+
+    def test_masked_rear(self, reward):
+        assert reward.impact(outcome(rear_velocity_now=None)) == 0.0
+
+    def test_bounded_at_minus_one(self, reward):
+        value = reward.impact(outcome(rear_velocity_now=20.0, rear_velocity_next=0.0))
+        assert value == -1.0
+
+
+def test_hybrid_combination_uses_weights():
+    reward = HybridReward(weights=RewardWeights(safety=0.9, efficiency=0.8,
+                                                comfort=0.6, impact=0.2))
+    result = reward.compute(outcome(collided=True, ego_velocity_next=constants.V_MAX,
+                                    ego_accel=3.0, ego_accel_prev=-3.0,
+                                    rear_velocity_now=10.0, rear_velocity_next=8.0))
+    expected = 0.9 * -3.0 + 0.8 * 1.0 + 0.6 * -1.0 + 0.2 * (-2.0 / 3.0)
+    assert result.total == pytest.approx(expected)
+    assert result.safety == -3.0
+    assert result.efficiency == 1.0
+
+
+def test_reward_ranges_are_paper_bounds():
+    """Property: every term stays in its documented range."""
+    rng = np.random.default_rng(0)
+    reward = HybridReward()
+    for _ in range(300):
+        result = reward.compute(outcome(
+            collided=bool(rng.random() < 0.1),
+            ego_velocity_next=float(rng.uniform(0, 30)),
+            ego_accel=float(rng.uniform(-3, 3)),
+            ego_accel_prev=float(rng.uniform(-3, 3)),
+            front_gap_next=float(rng.uniform(0, 120)),
+            front_closing_speed=float(rng.uniform(-10, 10)),
+            rear_velocity_now=float(rng.uniform(0, 25)),
+            rear_velocity_next=float(rng.uniform(0, 25)),
+        ))
+        assert -3.0 <= result.safety <= 0.0
+        assert 0.0 <= result.efficiency <= 1.0
+        assert -1.0 <= result.comfort <= 0.0
+        assert -1.0 <= result.impact <= 0.0

@@ -1,0 +1,114 @@
+"""Tests for the replay buffer and the x/Q network structures."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.decision import (AugmentedState, BranchedQNetwork, BranchedXNetwork,
+                            ReplayBuffer, Transition, VanillaQNetwork,
+                            VanillaXNetwork)
+from repro.sim import constants
+
+
+def make_state(value=0.5):
+    return AugmentedState(np.full((7, 4), value), np.full((6, 4), value),
+                          np.ones(6))
+
+
+def make_transition(value=0.5, reward=1.0, done=False, aux=None):
+    return Transition(state=make_state(value), behavior=1, accel=0.5,
+                      reward=reward, next_state=None if done else make_state(value + 0.1),
+                      done=done, aux=aux)
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buffer = ReplayBuffer(capacity=10, rng=np.random.default_rng(0))
+        for _ in range(5):
+            buffer.push(make_transition())
+        assert len(buffer) == 5
+
+    def test_ring_overwrite(self):
+        buffer = ReplayBuffer(capacity=4, rng=np.random.default_rng(0))
+        for index in range(10):
+            buffer.push(make_transition(value=index * 0.01))
+        assert len(buffer) == 4
+
+    def test_sample_shapes(self):
+        buffer = ReplayBuffer(capacity=100, rng=np.random.default_rng(0))
+        for _ in range(50):
+            buffer.push(make_transition(aux=np.array([1.0, 2.0, 3.0])))
+        batch = buffer.sample(16)
+        assert batch.current.shape == (16, 7, 4)
+        assert batch.future.shape == (16, 6, 4)
+        assert batch.aux.shape == (16, 6)
+        assert np.allclose(batch.aux[:, :3], [1.0, 2.0, 3.0])
+        assert np.allclose(batch.aux[:, 3:], 0.0)
+        assert len(batch) == 16
+
+    def test_terminal_next_state_zeroed(self):
+        buffer = ReplayBuffer(capacity=4, rng=np.random.default_rng(0))
+        buffer.push(make_transition(done=True))
+        batch = buffer.sample(1)
+        assert batch.done[0] == 1.0
+        assert np.allclose(batch.next_current, 0.0)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=4).sample(1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestNetworks:
+    @pytest.mark.parametrize("x_cls", [BranchedXNetwork, VanillaXNetwork])
+    def test_x_network_output_bounded(self, x_cls, rng):
+        net = x_cls(hidden_dim=16, rng=rng)
+        current = nn.Tensor(rng.standard_normal((5, 7, 4)))
+        future = nn.Tensor(rng.standard_normal((5, 6, 4)))
+        out = net(current, future)
+        assert out.shape == (5, 3)
+        assert np.all(np.abs(out.numpy()) <= constants.A_MAX + 1e-9)
+
+    @pytest.mark.parametrize("q_cls,x_cls", [(BranchedQNetwork, BranchedXNetwork),
+                                             (VanillaQNetwork, VanillaXNetwork)])
+    def test_q_network_shapes(self, q_cls, x_cls, rng):
+        x_net = x_cls(hidden_dim=16, rng=rng)
+        q_net = q_cls(hidden_dim=16, rng=rng)
+        current = nn.Tensor(rng.standard_normal((4, 7, 4)))
+        future = nn.Tensor(rng.standard_normal((4, 6, 4)))
+        q = q_net(current, future, x_net(current, future))
+        assert q.shape == (4, 3)
+
+    def test_branched_network_separates_inputs(self, rng):
+        """Changing the future half must not pass through the current branch.
+
+        With the branched structure, zeroing the future branch weights
+        makes Q invariant to the future input -- impossible to arrange
+        in the single shared MLP without also changing current-path
+        behaviour.
+        """
+        q_net = BranchedQNetwork(hidden_dim=16, rng=rng)
+        for parameter in q_net.future_branch.parameters():
+            parameter.data[:] = 0.0
+        current = nn.Tensor(rng.standard_normal((2, 7, 4)))
+        accels = nn.Tensor(rng.standard_normal((2, 3)))
+        out_a = q_net(current, nn.Tensor(rng.standard_normal((2, 6, 4))), accels)
+        out_b = q_net(current, nn.Tensor(rng.standard_normal((2, 6, 4))), accels)
+        np.testing.assert_allclose(out_a.numpy(), out_b.numpy())
+
+    def test_gradients_flow_through_both_networks(self, rng):
+        x_net = BranchedXNetwork(hidden_dim=8, rng=rng)
+        q_net = BranchedQNetwork(hidden_dim=8, rng=rng)
+        current = nn.Tensor(rng.standard_normal((3, 7, 4)))
+        future = nn.Tensor(rng.standard_normal((3, 6, 4)))
+        loss = -q_net(current, future, x_net(current, future)).sum()
+        loss.backward()
+        assert all(p.grad is not None for p in x_net.parameters())

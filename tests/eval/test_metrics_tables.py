@@ -1,0 +1,97 @@
+"""Tests for metric aggregation and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.decision.environment import EpisodeResult, StepRecord
+from repro.decision.reward import RewardBreakdown
+from repro.eval import (PAPER_COLUMNS, aggregate, render_metric_table,
+                        render_table)
+from repro.sim import constants
+
+
+def record(step=1, v=20.0, accel=1.0, jerk=0.5, ttc=5.0, drop=None,
+           impact=False, collided=False, trailing_v=18.0):
+    return StepRecord(
+        step=step, av_velocity=v, av_accel=accel, av_jerk=jerk, ttc=ttc,
+        rear_velocity_drop=drop, impact_event=impact, collided=collided,
+        reward=RewardBreakdown(0.0, 0.5, 0.0, 0.0, 0.4),
+        trailing_ids=("cv1",), trailing_mean_velocity=trailing_v,
+    )
+
+
+def episode(records, finished=True, collided=False):
+    result = EpisodeResult(records=list(records), finished=finished,
+                           collided=collided, steps=len(records))
+    return result
+
+
+def test_aggregate_requires_episodes():
+    with pytest.raises(ValueError):
+        aggregate([], road_length=1000.0)
+
+
+def test_finished_episode_uses_exact_time():
+    result = episode([record() for _ in range(10)])
+    report = aggregate([result], road_length=1000.0)
+    assert report.avg_dt_a == pytest.approx(10 * constants.DT)
+
+
+def test_truncated_episode_uses_velocity_estimate():
+    result = episode([record(v=20.0) for _ in range(10)], finished=False)
+    report = aggregate([result], road_length=1000.0)
+    assert report.avg_dt_a == pytest.approx(1000.0 / 20.0)
+
+
+def test_trailing_velocity_drives_dt_c():
+    result = episode([record(trailing_v=10.0)])
+    report = aggregate([result], road_length=500.0)
+    assert report.avg_dt_c == pytest.approx(50.0)
+
+
+def test_impact_event_counting():
+    records = [record(impact=True), record(impact=False), record(impact=True)]
+    report = aggregate([episode(records)], road_length=100.0)
+    assert report.avg_count_ca == pytest.approx(2.0)
+
+
+def test_min_ttc_across_episodes():
+    a = episode([record(ttc=4.0), record(ttc=None)])
+    b = episode([record(ttc=2.5)])
+    report = aggregate([a, b], road_length=100.0)
+    assert report.min_ttc_a == pytest.approx(2.5)
+
+
+def test_rear_drop_mean_ignores_speedups():
+    records = [record(drop=1.0), record(drop=-0.5), record(drop=2.0)]
+    report = aggregate([episode(records)], road_length=100.0)
+    assert report.avg_d_ca == pytest.approx(1.5)
+
+
+def test_collision_counting():
+    report = aggregate([episode([record()], collided=True),
+                        episode([record()])], road_length=100.0)
+    assert report.collisions == 1
+    assert report.episodes == 2
+
+
+def test_report_row_order():
+    report = aggregate([episode([record()])], road_length=100.0)
+    assert len(report.row()) == len(PAPER_COLUMNS) == 7
+
+
+def test_render_table_alignment():
+    text = render_table("Table X", ["A", "B"], {"method": [1.234, 5.0],
+                                                "other": [2.0, 6.789]})
+    lines = text.splitlines()
+    assert lines[0] == "Table X"
+    assert "Method" in lines[1]
+    assert "1.23" in text and "6.79" in text
+    assert len({len(line) for line in lines[2:]}) <= 2  # consistent width
+
+
+def test_render_metric_table():
+    report = aggregate([episode([record()])], road_length=100.0)
+    text = render_metric_table("Table I", {"HEAD": report})
+    assert "AvgDT-A(s)" in text
+    assert "HEAD" in text

@@ -1,0 +1,87 @@
+"""Gradient checks for matmul's broadcasting and vector special cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor
+
+from .test_gradcheck import numeric_grad
+
+
+def check_against_numeric(op, value, tolerance=1e-5):
+    tensor = Tensor(value.copy(), requires_grad=True)
+    op(tensor).backward()
+    expected = numeric_grad(lambda arr: op(Tensor(arr)).item(), value.copy())
+    np.testing.assert_allclose(tensor.grad, expected, rtol=tolerance,
+                               atol=tolerance)
+
+
+@given(seed=st.integers(0, 3000))
+@settings(max_examples=15, deadline=None)
+def test_batched_matmul_3d_by_2d(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((2, 3, 4))
+    w = rng.standard_normal((4, 5))
+    check_against_numeric(lambda t: ((t @ Tensor(w)) ** 2).sum(), a)
+
+
+@given(seed=st.integers(0, 3000))
+@settings(max_examples=15, deadline=None)
+def test_batched_matmul_weight_grad(seed):
+    """Gradient w.r.t. a shared weight under a batched lhs."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((2, 3, 4))
+    w = rng.standard_normal((4, 5))
+
+    def op(tensor):
+        return ((Tensor(a) @ tensor) ** 2).sum()
+
+    check_against_numeric(op, w)
+
+
+@given(seed=st.integers(0, 3000))
+@settings(max_examples=15, deadline=None)
+def test_matrix_vector_grads(seed):
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((3, 4))
+    v = rng.standard_normal(4)
+    check_against_numeric(lambda t: ((t @ Tensor(v)) ** 2).sum(), m)
+    check_against_numeric(lambda t: ((Tensor(m) @ t) ** 2).sum(), v)
+
+
+@given(seed=st.integers(0, 3000))
+@settings(max_examples=10, deadline=None)
+def test_4d_matmul_as_used_by_attention(seed):
+    """The (z, n, 7, F) @ (F, D) pattern from the GAT layer."""
+    rng = np.random.default_rng(seed)
+    contributors = rng.standard_normal((2, 3, 7, 4))
+    weights = rng.standard_normal((4, 6))
+
+    def op_lhs(tensor):
+        return ((tensor @ Tensor(weights)).tanh()).sum()
+
+    check_against_numeric(op_lhs, contributors, tolerance=1e-4)
+
+    def op_rhs(tensor):
+        return ((Tensor(contributors) @ tensor).tanh()).sum()
+
+    check_against_numeric(op_rhs, weights, tolerance=1e-4)
+
+
+@given(seed=st.integers(0, 3000))
+@settings(max_examples=10, deadline=None)
+def test_3d_dot_vector_as_used_by_attention_scores(seed):
+    """The (z, n, D) @ (D,) score pattern from the GAT layer."""
+    rng = np.random.default_rng(seed)
+    features = rng.standard_normal((2, 3, 5))
+    key = rng.standard_normal(5)
+    check_against_numeric(lambda t: ((t @ Tensor(key)) ** 2).sum(), features)
+    check_against_numeric(
+        lambda t: ((Tensor(features) @ t) ** 2).sum(), key)
+
+
+def test_matmul_rejects_nothing_but_numpy_would():
+    """Shape errors surface as numpy exceptions, not silent wrong answers."""
+    with pytest.raises(ValueError):
+        Tensor(np.ones((2, 3))) @ Tensor(np.ones((4, 2)))

@@ -1,0 +1,44 @@
+"""Tests for the LST-GAT attention introspection API."""
+
+import numpy as np
+import pytest
+
+from repro.perception import LSTGAT
+from repro.perception.graph import SpatialTemporalGraph
+
+
+@pytest.fixture
+def model():
+    return LSTGAT(attention_dim=16, lstm_dim=16, rng=np.random.default_rng(0))
+
+
+def random_graph(rng, z=5, n=6):
+    contributors = rng.standard_normal((z, n, 7, 4))
+    targets = contributors[:, :, 0, :].copy()
+    ego = rng.standard_normal((z, n, 4))
+    return SpatialTemporalGraph(targets, contributors, np.ones(n), ego)
+
+
+def test_attention_map_shape_and_normalization(model):
+    graph = random_graph(np.random.default_rng(1))
+    alpha = model.attention_map(graph)
+    assert alpha.shape == (5, 6, 7)
+    np.testing.assert_allclose(alpha.sum(axis=-1), 1.0, atol=1e-9)
+    assert np.all(alpha >= 0.0)
+
+
+def test_attention_ignores_padding_slots(model):
+    rng = np.random.default_rng(2)
+    graph = random_graph(rng)
+    graph.contributor_features[:, :, 4, :] = 0.0
+    alpha = model.attention_map(graph)
+    assert np.all(alpha[:, :, 4] < 1e-6)
+
+
+def test_attention_matches_forward_weights(model):
+    """The introspected alpha must reproduce the forward aggregation."""
+    graph = random_graph(np.random.default_rng(3))
+    prediction_a = model.predict(graph)
+    _ = model.attention_map(graph)  # must not mutate state
+    prediction_b = model.predict(graph)
+    np.testing.assert_allclose(prediction_a, prediction_b)

@@ -1,0 +1,103 @@
+"""Tests for spatial-temporal graph construction (Eqs. 7-9)."""
+
+import numpy as np
+import pytest
+
+from repro.perception import (CONTRIBUTORS, FEATURE_DIM, ObservationBuffer,
+                              build_graph, build_scene, to_networkx)
+from repro.perception.graph import EGO_SCALE, OUTPUT_SCALE, RELATIVE_SCALE
+from repro.sim import Road, VehicleState
+
+Z = 5
+
+
+@pytest.fixture
+def road():
+    return Road(length=100000.0)
+
+
+def state(lane, lon, v=10.0):
+    return VehicleState(lat=lane, lon=lon, v=v)
+
+
+def make_scene(road, observed):
+    buffer = ObservationBuffer(history_steps=Z)
+    for _ in range(Z):
+        buffer.update(observed)
+    return build_scene("ego", [state(3, 5000.0, 10.0)] * Z, buffer, road,
+                       detection_range=100.0)
+
+
+def test_graph_shapes(road):
+    graph = build_graph(make_scene(road, {"front": state(3, 5020.0)}), road)
+    assert graph.target_features.shape == (Z, 6, FEATURE_DIM)
+    assert graph.contributor_features.shape == (Z, 6, CONTRIBUTORS, FEATURE_DIM)
+    assert graph.ego_features.shape == (Z, 6, FEATURE_DIM)
+    assert graph.target_mask.shape == (6,)
+    assert graph.history_steps == Z
+
+
+def test_relative_features_eq7(road):
+    graph = build_graph(make_scene(road, {"front": state(4, 5030.0, 14.0)}), road)
+    # "front" is in area 3 (front-right): index 2.
+    vector = graph.target_features[-1, 2] * RELATIVE_SCALE
+    assert vector[0] == pytest.approx(1 * road.lane_width)  # d_lat
+    assert vector[1] == pytest.approx(30.0)                 # d_lon
+    assert vector[2] == pytest.approx(4.0)                  # v_rel
+    assert vector[3] == pytest.approx(0.0)                  # observed -> IF=0
+
+
+def test_phantom_indicator_set(road):
+    graph = build_graph(make_scene(road, {}), road)
+    assert np.all(graph.target_features[:, :, 3] == 1.0)
+    assert np.all(graph.target_mask == 0.0)
+
+
+def test_ego_raw_features_eq8_first_row(road):
+    graph = build_graph(make_scene(road, {"front": state(3, 5020.0)}), road)
+    ego_vector = graph.ego_features[-1, 0] * EGO_SCALE
+    assert ego_vector[0] == pytest.approx(3)
+    assert ego_vector[1] == pytest.approx(5000.0)
+    assert ego_vector[2] == pytest.approx(10.0)
+    assert ego_vector[3] == pytest.approx(0.0)
+    # Ego replicated across targets.
+    assert np.allclose(graph.ego_features[:, 0], graph.ego_features[:, 3])
+
+
+def test_mirror_slot_carries_ego_raw_state(road):
+    graph = build_graph(make_scene(road, {"front": state(3, 5020.0)}), road)
+    # front target is area 2 (index 1); its mirror slot is 5.
+    mirror_vector = graph.contributor_features[-1, 1, 5]
+    assert np.allclose(mirror_vector, graph.ego_features[-1, 0])
+
+
+def test_self_loop_slot_equals_target(road):
+    graph = build_graph(make_scene(road, {"front": state(3, 5020.0)}), road)
+    assert np.allclose(graph.contributor_features[:, :, 0, :], graph.target_features)
+
+
+def test_zero_nodes_all_zero(road):
+    graph = build_graph(make_scene(road, {}), road)
+    # All phantom targets -> non-mirror surroundings zero-padded.
+    for area_index in range(6):
+        mirror = {0: 5, 1: 4, 2: 3, 3: 2, 4: 1, 5: 0}[area_index]
+        for slot in range(1, CONTRIBUTORS):
+            if slot - 1 == mirror:
+                continue
+            assert np.allclose(graph.contributor_features[:, area_index, slot], 0.0)
+
+
+def test_networkx_export_42_nodes_48_edges(road):
+    scene = make_scene(road, {"front": state(3, 5020.0)})
+    nxg = to_networkx(scene, road)
+    assert nxg.number_of_nodes() == 42
+    # 36 surrounding->target edges + 6 self-loops.
+    assert nxg.number_of_edges() == 42
+    assert nxg.has_edge("C2.5", "C2")
+    assert nxg.has_edge("C2", "C2")
+    assert nxg.nodes["C2"]["kind"] == "observed"
+    assert set(nxg.successors("C1.1")) == {"C1"}
+
+
+def test_output_scale_consistent_with_relative_scale():
+    assert np.allclose(OUTPUT_SCALE, RELATIVE_SCALE[:3])

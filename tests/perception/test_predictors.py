@@ -1,0 +1,117 @@
+"""Tests for LST-GAT and the compared predictors: shapes, training, parity."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_real_dataset
+from repro.perception import (EDLSTM, GASLED, LSTGAT, LSTMMLP, build_samples,
+                              collate, evaluate_predictor, train_predictor)
+from repro.perception.graph import SpatialTemporalGraph
+
+MODELS = [LSTGAT, LSTMMLP, EDLSTM, GASLED]
+
+
+@pytest.fixture(scope="module")
+def samples():
+    ds = generate_real_dataset(seed=5, steps=60, density_per_km=120)
+    return build_samples(ds, max_egos=3, rng=np.random.default_rng(0))
+
+
+def small(model_cls, seed=0):
+    return model_cls(hidden_dim=16, rng=np.random.default_rng(seed)) \
+        if model_cls is not LSTGAT \
+        else LSTGAT(attention_dim=16, lstm_dim=16, rng=np.random.default_rng(seed))
+
+
+@pytest.mark.parametrize("model_cls", MODELS, ids=lambda c: c.__name__)
+def test_forward_shape(model_cls, samples):
+    model = small(model_cls)
+    out = model.forward_graph(samples[0].graph)
+    assert out.shape == (6, 3)
+
+
+@pytest.mark.parametrize("model_cls", MODELS, ids=lambda c: c.__name__)
+def test_batched_vs_sequential_inference_agree(model_cls, samples):
+    """predict (parallel) and predict_each (sequential) must agree.
+
+    For LSTMMLP/EDLSTM this is exact; for attention models (LSTGAT,
+    GASLED) sequential slicing changes the attention support, so parity
+    is only required for the non-interactive models.
+    """
+    model = small(model_cls)
+    graph = samples[0].graph
+    batched = model.predict(graph)
+    sequential = model.predict_each(graph)
+    assert batched.shape == sequential.shape == (6, 3)
+    if model_cls in (LSTMMLP, EDLSTM):
+        np.testing.assert_allclose(batched, sequential, atol=1e-9)
+
+
+@pytest.mark.parametrize("model_cls", MODELS, ids=lambda c: c.__name__)
+def test_loss_decreases_with_training(model_cls, samples):
+    model = small(model_cls)
+    result = train_predictor(model, samples[:80], epochs=4, batch_size=32,
+                             rng=np.random.default_rng(0))
+    assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+
+def test_lstgat_parallel_prediction_is_single_pass(samples):
+    """All six targets come out of one forward call."""
+    model = small(LSTGAT)
+    prediction = model.predict(samples[0].graph)
+    assert prediction.shape == (6, 3)
+    assert np.isfinite(prediction).all()
+
+
+def test_collate_stacks_targets(samples):
+    graph, truth = collate(samples[:3])
+    assert graph.target_features.shape[1] == 18
+    assert graph.contributor_features.shape[1] == 18
+    assert graph.ego_features.shape[1] == 18
+    assert truth.shape == (18, 3)
+    assert graph.target_mask.shape == (18,)
+
+
+def test_collated_forward_matches_individual(samples):
+    """A batched pass must produce the same outputs as per-sample passes."""
+    model = small(LSTGAT)
+    graph, _ = collate(samples[:3])
+    batched = model.predict(graph)
+    individual = np.concatenate([model.predict(s.graph) for s in samples[:3]])
+    np.testing.assert_allclose(batched, individual, atol=1e-9)
+
+
+def test_masked_targets_receive_no_gradient(samples):
+    """Phantom/unlabeled targets must not contribute to the loss (Eq. 14 mask)."""
+    sample = next(s for s in samples if not s.graph.target_mask.all()
+                  and s.graph.target_mask.any())
+    model = small(LSTGAT)
+    loss = model.loss(sample.graph, sample.truth)
+    assert np.isfinite(loss.item())
+
+
+def test_evaluate_predictor_reports_physical_units(samples):
+    model = small(LSTGAT)
+    report = evaluate_predictor(model, samples[:40])
+    assert report.mae > 0
+    assert report.rmse == pytest.approx(np.sqrt(report.mse))
+
+
+def test_train_predictor_rejects_empty():
+    with pytest.raises(ValueError):
+        train_predictor(small(LSTGAT), [], epochs=1)
+
+
+def test_convergence_tolerance_stops_early(samples):
+    model = small(LSTMMLP)
+    result = train_predictor(model, samples[:40], epochs=50, batch_size=32,
+                             convergence_tol=0.5, rng=np.random.default_rng(0))
+    assert len(result.epoch_losses) < 50
+
+
+def test_state_dict_roundtrip_for_lstgat(samples):
+    model = small(LSTGAT, seed=1)
+    clone = small(LSTGAT, seed=2)
+    clone.load_state_dict(model.state_dict())
+    graph = samples[0].graph
+    np.testing.assert_allclose(model.predict(graph), clone.predict(graph))

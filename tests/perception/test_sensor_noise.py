@@ -1,0 +1,63 @@
+"""Tests for sensor measurement noise (NGSIM-like detection error)."""
+
+import numpy as np
+import pytest
+
+from repro.perception import Sensor
+from repro.sim import Road, VehicleState
+
+
+@pytest.fixture
+def road():
+    return Road(length=1000.0)
+
+
+def world(road):
+    return {
+        "ego": VehicleState(3, 500.0, 15.0),
+        "a": VehicleState(3, 530.0, 12.0),
+        "b": VehicleState(2, 520.0, 18.0),
+    }
+
+
+def test_noise_free_sensor_returns_exact_states(road):
+    sensor = Sensor()
+    observed = sensor.observe("ego", world(road)["ego"], world(road), road)
+    assert observed["a"] == VehicleState(3, 530.0, 12.0)
+
+
+def test_noise_perturbs_positions_and_speeds(road):
+    sensor = Sensor(position_noise=0.5, velocity_noise=0.5, seed=3)
+    observed = sensor.observe("ego", world(road)["ego"], world(road), road)
+    assert observed["a"].lon != 530.0
+    assert observed["a"].v != 12.0
+    assert observed["a"].lat == 3  # lane detection stays exact
+
+
+def test_noise_is_seeded_and_reproducible(road):
+    first = Sensor(position_noise=0.5, velocity_noise=0.5, seed=9)
+    second = Sensor(position_noise=0.5, velocity_noise=0.5, seed=9)
+    a = first.observe("ego", world(road)["ego"], world(road), road)
+    b = second.observe("ego", world(road)["ego"], world(road), road)
+    assert a["a"].lon == b["a"].lon
+    assert a["b"].v == b["b"].v
+
+
+def test_noise_magnitude_statistics(road):
+    sensor = Sensor(position_noise=0.3, velocity_noise=0.0, seed=1)
+    deviations = []
+    for _ in range(300):
+        observed = sensor.observe("ego", world(road)["ego"], world(road), road)
+        deviations.append(observed["a"].lon - 530.0)
+    deviations = np.array(deviations)
+    assert abs(deviations.mean()) < 0.1
+    assert 0.2 < deviations.std() < 0.4
+
+
+def test_speed_never_negative(road):
+    sensor = Sensor(velocity_noise=50.0, seed=2)
+    slow_world = {"ego": VehicleState(3, 500.0, 15.0),
+                  "slow": VehicleState(3, 520.0, 0.5)}
+    for _ in range(50):
+        observed = sensor.observe("ego", slow_world["ego"], slow_world, road)
+        assert observed["slow"].v >= 0.0

@@ -1,0 +1,97 @@
+"""Tests for the IDM / ACC / Krauss longitudinal models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import ACC, IDM, Krauss, constants, free_road_gap
+from repro.sim.vehicle import DriverProfile
+
+
+@pytest.fixture
+def profile():
+    return DriverProfile(desired_speed=25.0, time_headway=1.5, min_gap=2.0,
+                         max_accel=2.0, comfort_decel=2.5)
+
+
+MODELS = [IDM(), ACC(), Krauss()]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+def test_free_road_accelerates_below_desired_speed(model, profile):
+    accel = model.acceleration(10.0, 0.0, free_road_gap(), profile)
+    assert accel > 0
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+def test_free_road_no_accel_at_desired_speed(model, profile):
+    accel = model.acceleration(25.0, 0.0, free_road_gap(), profile)
+    assert accel <= 0.1
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+def test_brakes_when_tailgating_slower_leader(model, profile):
+    accel = model.acceleration(20.0, 5.0, 3.0, profile)
+    assert accel < -1.0
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+def test_acceleration_bounded(model, profile):
+    for v in (0.0, 10.0, 25.0):
+        for gap in (0.1, 5.0, 50.0, free_road_gap()):
+            accel = model.acceleration(v, 10.0, gap, profile)
+            assert -constants.A_MAX <= accel <= constants.A_MAX
+
+
+def test_idm_interaction_grows_with_closing_speed(profile):
+    idm = IDM()
+    closing = idm.acceleration(20.0, 10.0, 30.0, profile)
+    matched = idm.acceleration(20.0, 20.0, 30.0, profile)
+    assert closing < matched
+
+
+def test_acc_tracks_desired_gap(profile):
+    acc = ACC()
+    desired_gap = profile.min_gap + profile.time_headway * 15.0
+    at_gap = acc.acceleration(15.0, 15.0, desired_gap, profile)
+    assert at_gap == pytest.approx(0.0, abs=1e-9)
+    too_close = acc.acceleration(15.0, 15.0, desired_gap - 5.0, profile)
+    assert too_close < 0
+    too_far = acc.acceleration(15.0, 15.0, desired_gap + 5.0, profile)
+    assert too_far > 0
+
+
+def test_krauss_safe_speed_prevents_rear_end(profile):
+    krauss = Krauss()
+    # Stopped leader right ahead: must brake hard.
+    accel = krauss.acceleration(15.0, 0.0, 5.0, profile)
+    assert accel < -2.0
+
+
+@given(v=st.floats(0.0, 25.0), leader_v=st.floats(0.0, 25.0),
+       gap=st.floats(0.5, 200.0))
+@settings(max_examples=80, deadline=None)
+def test_idm_never_exceeds_bounds_property(v, leader_v, gap):
+    profile = DriverProfile()
+    accel = IDM().acceleration(v, leader_v, gap, profile)
+    assert -constants.A_MAX <= accel <= constants.A_MAX
+    assert np.isfinite(accel)
+
+
+@given(v=st.floats(1.0, 25.0), slack=st.floats(0.0, 50.0))
+@settings(max_examples=60, deadline=None)
+def test_krauss_never_hits_stopped_leader_from_safe_state(v, slack):
+    """Krauss guarantee: from a dynamically safe state (gap at least the
+
+    braking distance), a follower approaching a stopped leader never
+    collides, for any number of steps.
+    """
+    profile = DriverProfile(imperfection=0.0, comfort_decel=2.5)
+    krauss = Krauss(tau=1.0)
+    gap = v ** 2 / (2.0 * profile.comfort_decel) + v * krauss.tau + slack
+    for _ in range(120):
+        accel = krauss.acceleration(v, 0.0, gap, profile)
+        travel = v * constants.DT + 0.5 * accel * constants.DT ** 2
+        v = max(v + accel * constants.DT, 0.0)
+        gap -= max(travel, 0.0)
+        assert gap > 0.0

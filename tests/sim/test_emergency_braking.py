@@ -1,0 +1,70 @@
+"""Tests for the conventional vehicles' emergency braking (SUMO semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Road, SimulationEngine, Vehicle, VehicleState, constants
+from repro.sim.vehicle import DriverProfile
+
+
+def make_engine(num_lanes=3):
+    return SimulationEngine(road=Road(length=800.0, num_lanes=num_lanes),
+                            rng=np.random.default_rng(0))
+
+
+def put(engine, vid, lane, lon, v, autonomous=False):
+    vehicle = Vehicle(vid, VehicleState(lane, lon, v), is_autonomous=autonomous,
+                      profile=DriverProfile(imperfection=0.0))
+    return engine.add_vehicle(vehicle)
+
+
+def test_emergency_decel_exceeds_comfort_bound():
+    """A survivable cut-in must not end in a crash on a single-lane road."""
+    engine = make_engine(num_lanes=1)
+    cv = put(engine, "cv", 1, 100.0, 20.0)
+    put(engine, "wall", 1, 118.0, 8.0, autonomous=True)
+    engine.set_maneuver("wall", 0, 0.0)
+    min_accel = 0.0
+    for _ in range(10):
+        engine.set_maneuver("wall", 0, 0.0)
+        events = engine.step()
+        assert not [e for e in events if e.kind == "crash"]
+        if "cv" in engine.vehicles:
+            min_accel = min(min_accel, engine.get("cv").accel)
+    assert min_accel < -constants.A_MAX  # emergency braking engaged
+    assert min_accel >= -constants.EMERGENCY_DECEL - 1e-9
+
+
+def test_no_emergency_braking_in_normal_following():
+    engine = make_engine(num_lanes=1)
+    put(engine, "f", 1, 100.0, 15.0)
+    put(engine, "l", 1, 150.0, 15.0)
+    for _ in range(20):
+        engine.step()
+        if "f" in engine.vehicles:
+            assert engine.get("f").accel >= -constants.A_MAX - 1e-9
+
+
+def test_av_never_gets_emergency_decel():
+    """The AV's action space stays within [-a', a'] (paper restriction)."""
+    engine = make_engine()
+    put(engine, "av", 2, 100.0, 20.0, autonomous=True)
+    engine.set_maneuver("av", 0, -10.0)  # request beyond the bound
+    engine.step()
+    assert engine.get("av").accel == pytest.approx(-constants.A_MAX)
+
+
+def test_physically_hopeless_cutin_still_crashes():
+    """Emergency braking is not teleportation: a 2 m cut-in at high
+
+    closing speed remains a collision (and the learner gets the -3).
+    """
+    engine = make_engine(num_lanes=1)
+    put(engine, "cv", 1, 100.0, 25.0)
+    put(engine, "wall", 1, 107.5, 0.0, autonomous=True)
+    engine.set_maneuver("wall", 0, 0.0)
+    crashed = []
+    for _ in range(4):
+        engine.set_maneuver("wall", 0, 0.0) if "wall" in engine.vehicles else None
+        crashed += [e for e in engine.step() if e.kind == "crash"]
+    assert crashed

@@ -1,0 +1,84 @@
+"""Tests for macroscopic flow analytics and the time-space recorder."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (FlowState, Road, SimulationEngine, TimeSpaceRecorder,
+                       Vehicle, VehicleState, measure_flow, populate_traffic)
+
+
+def build(vehicles, length=1000.0):
+    engine = SimulationEngine(road=Road(length=length), rng=np.random.default_rng(0))
+    for index, (lane, lon, v) in enumerate(vehicles):
+        engine.add_vehicle(Vehicle(f"v{index}", VehicleState(lane, lon, v)))
+    return engine
+
+
+def test_measure_flow_basic():
+    engine = build([(1, 100.0, 10.0), (2, 200.0, 20.0)])
+    state = measure_flow(engine)
+    assert state.density_per_km == pytest.approx(2.0)
+    assert state.mean_speed == pytest.approx(15.0)
+    assert state.flow_per_hour == pytest.approx(2.0 * 15.0 * 3.6)
+    assert state.stopped_fraction == 0.0
+    assert not state.congested
+
+
+def test_measure_flow_section_filter():
+    engine = build([(1, 100.0, 10.0), (1, 900.0, 20.0)])
+    state = measure_flow(engine, section=(0.0, 500.0))
+    assert state.density_per_km == pytest.approx(2.0)  # 1 vehicle / 0.5 km
+    assert state.mean_speed == pytest.approx(10.0)
+
+
+def test_measure_flow_rejects_bad_section():
+    engine = build([])
+    with pytest.raises(ValueError):
+        measure_flow(engine, section=(10.0, 10.0))
+
+
+def test_empty_road_flow():
+    state = measure_flow(build([]))
+    assert state.density_per_km == 0.0
+    assert state.flow_per_hour == 0.0
+
+
+def test_congestion_flag():
+    engine = build([(1, 50.0 + 10 * i, 0.5) for i in range(5)]
+                   + [(2, 100.0, 20.0)])
+    state = measure_flow(engine)
+    assert state.stopped_fraction > 0.5
+    assert state.congested
+
+
+def test_fundamental_diagram_shape():
+    """Denser traffic must not be faster (speed-density relation)."""
+    from repro.sim import replenish_traffic
+
+    speeds = {}
+    for density in (40, 280):
+        rng = np.random.default_rng(1)
+        engine = SimulationEngine(road=Road(length=1000.0), rng=rng)
+        populate_traffic(engine, rng, density_per_km=density)
+        for _ in range(80):
+            replenish_traffic(engine, rng, density_per_km=density)
+            engine.step()
+        speeds[density] = measure_flow(engine).mean_speed
+    assert speeds[280] < speeds[40]
+
+
+def test_time_space_recorder():
+    engine = build([(1, 100.0, 10.0), (2, 200.0, 1.0)])
+    recorder = TimeSpaceRecorder()
+    for _ in range(3):
+        recorder.record(engine)
+        engine.step()
+    times, positions, speeds = recorder.as_arrays()
+    assert len(times) == 6
+    assert positions.min() >= 100.0
+    assert 0.0 < recorder.slow_zone_fraction(threshold=5.0) < 1.0
+
+
+def test_recorder_empty():
+    recorder = TimeSpaceRecorder()
+    assert recorder.slow_zone_fraction() == 0.0

@@ -1,0 +1,75 @@
+"""Tests for road geometry, vehicle state kinematics and profiles."""
+
+import pytest
+
+from repro.sim import Road, Vehicle, VehicleState, constants
+
+
+def test_road_defaults_match_paper():
+    road = Road()
+    assert road.num_lanes == 6
+    assert road.length == pytest.approx(3000.0)
+    assert road.lane_width == pytest.approx(3.2)
+    assert road.v_min == pytest.approx(5.0 / 3.6)
+    assert road.v_max == pytest.approx(25.0)
+
+
+def test_road_validation():
+    with pytest.raises(ValueError):
+        Road(length=-1)
+    with pytest.raises(ValueError):
+        Road(num_lanes=0)
+    with pytest.raises(ValueError):
+        Road(v_min=30.0, v_max=25.0)
+
+
+def test_lane_validity():
+    road = Road(num_lanes=4)
+    assert road.is_valid_lane(1)
+    assert road.is_valid_lane(4)
+    assert not road.is_valid_lane(0)
+    assert not road.is_valid_lane(5)
+
+
+def test_clamp_speed():
+    road = Road()
+    assert road.clamp_speed(100.0) == pytest.approx(road.v_max)
+    assert road.clamp_speed(0.0) == pytest.approx(road.v_min)
+    assert road.clamp_speed(10.0) == pytest.approx(10.0)
+
+
+def test_lateral_offset_eq2():
+    road = Road()
+    assert road.lateral_offset(3, 1) == pytest.approx(2 * 3.2)
+    assert road.lateral_offset(1, 3) == pytest.approx(-2 * 3.2)
+
+
+def test_state_advanced_eq18_kinematics():
+    state = VehicleState(lat=2, lon=100.0, v=10.0)
+    nxt = state.advanced(lane_delta=1, accel=2.0, dt=0.5)
+    assert nxt.lat == 3
+    assert nxt.lon == pytest.approx(100.0 + 10.0 * 0.5 + 0.5 * 2.0 * 0.25)
+    assert nxt.v == pytest.approx(11.0)
+
+
+def test_state_advanced_clamps_velocity():
+    state = VehicleState(lat=1, lon=0.0, v=24.8)
+    nxt = state.advanced(0, 3.0, v_max=25.0)
+    assert nxt.v == pytest.approx(25.0)
+    slow = VehicleState(lat=1, lon=0.0, v=0.2)
+    nxt = slow.advanced(0, -3.0, v_min=0.0)
+    assert nxt.v == pytest.approx(0.0)
+
+
+def test_gap_to_is_bumper_to_bumper():
+    follower = Vehicle("f", VehicleState(1, 100.0, 10.0), length=5.0)
+    leader = Vehicle("l", VehicleState(1, 120.0, 10.0), length=5.0)
+    assert follower.gap_to(leader) == pytest.approx(15.0)
+
+
+def test_vehicle_properties():
+    vehicle = Vehicle("x", VehicleState(3, 50.0, 12.0))
+    assert vehicle.lane == 3
+    assert vehicle.lon == pytest.approx(50.0)
+    assert vehicle.v == pytest.approx(12.0)
+    assert vehicle.rear == pytest.approx(50.0 - constants.VEHICLE_LENGTH)

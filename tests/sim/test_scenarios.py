@@ -1,0 +1,73 @@
+"""Tests for the scripted scenario library."""
+
+import numpy as np
+import pytest
+
+from repro.sim import constants
+from repro.sim.scenarios import blocked_lane, cut_in, platoon, stop_and_go_wave
+
+
+def drive_keep_lane(engine, av_id="av", accel=0.0, steps=20):
+    """Advance with the AV holding its lane at a constant acceleration."""
+    events = []
+    for _ in range(steps):
+        if av_id in engine.vehicles:
+            engine.set_maneuver(av_id, 0, accel)
+        events += engine.step()
+    return events
+
+
+def test_cut_in_merger_enters_av_lane():
+    engine, av = cut_in()
+    lane_before = engine.get("merger").lane
+    drive_keep_lane(engine, steps=8)
+    merger = engine.vehicles.get("merger") or engine.retired.get("merger")
+    assert lane_before == 3
+    assert merger.lane == av.lane  # the merge happened
+
+
+def test_cut_in_with_generous_gap_is_survivable():
+    engine, av = cut_in(gap=15.0, speed_delta=2.0)
+    events = drive_keep_lane(engine, steps=25)
+    assert not [e for e in events if e.kind == "crash"]
+
+
+def test_stop_and_go_wave_propagates_backward():
+    engine, av = stop_and_go_wave(platoon_size=6)
+    brake_times = {}
+    for step in range(120):
+        drive_keep_lane(engine, steps=1)
+        for index in range(6):
+            vid = f"p{index}"
+            if vid in engine.vehicles and vid not in brake_times:
+                if engine.get(vid).v < 10.0:
+                    brake_times[vid] = step
+    # Front vehicles of the platoon slow down before rear ones.
+    assert "p0" in brake_times and "p3" in brake_times
+    assert brake_times["p0"] <= brake_times["p3"]
+
+
+def test_blocked_lane_platoon_stays_slow():
+    engine, av = blocked_lane(platoon_speed=6.0)
+    drive_keep_lane(engine, accel=-1.0, steps=15)
+    slow = [v for vid, v in engine.vehicles.items() if vid.startswith("slow")]
+    assert slow
+    assert all(vehicle.v < 10.0 for vehicle in slow)
+
+
+def test_platoon_steady_state_is_stable():
+    engine, av = platoon(size=4, headway=25.0, speed=20.0)
+    events = drive_keep_lane(engine, steps=30)
+    assert not events
+    if av.vid in engine.vehicles:
+        assert abs(av.v - 20.0) < 1e-9  # commanded accel 0 keeps speed
+
+
+def test_scenarios_are_deterministic():
+    a_engine, _ = cut_in()
+    b_engine, _ = cut_in()
+    drive_keep_lane(a_engine, steps=10)
+    drive_keep_lane(b_engine, steps=10)
+    states_a = sorted((vid, v.lon, v.v) for vid, v in a_engine.vehicles.items())
+    states_b = sorted((vid, v.lon, v.v) for vid, v in b_engine.vehicles.items())
+    assert states_a == states_b

@@ -1,0 +1,65 @@
+"""Tests for the benchmark profile plumbing (no training involved)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    spec = importlib.util.spec_from_file_location(
+        "_artifacts", BENCH_DIR / "_artifacts.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["_artifacts"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_profiles_exist(artifacts):
+    assert set(artifacts.PROFILES) == {"quick", "full"}
+
+
+def test_full_profile_matches_paper(artifacts):
+    full = artifacts.PROFILES["full"]
+    assert full.road_length == 3000.0
+    assert full.density_per_km == 180.0
+    assert full.head_episodes == 4000
+    assert full.eval_seeds == 500
+
+
+def test_quick_profile_is_scaled_down(artifacts):
+    quick = artifacts.PROFILES["quick"]
+    full = artifacts.PROFILES["full"]
+    assert quick.road_length < full.road_length
+    assert quick.head_episodes < full.head_episodes
+
+
+def test_profile_env_selection(artifacts, monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+    assert artifacts.profile().name == "quick"
+    monkeypatch.setenv("REPRO_BENCH_PROFILE", "full")
+    assert artifacts.profile().name == "full"
+
+
+def test_head_config_reflects_profile(artifacts, monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+    config = artifacts.head_config()
+    assert config.road_length == artifacts.profile().road_length
+    assert config.density_per_km == artifacts.profile().density_per_km
+
+
+def test_eval_seeds_disjoint_from_training(artifacts, monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+    seeds = artifacts.eval_seeds()
+    # Training uses seed_offset >= 10_000; evaluation stays below.
+    assert max(seeds) < 10_000
+    assert len(list(seeds)) == artifacts.profile().eval_seeds
+
+
+def test_rl_method_registry(artifacts):
+    assert artifacts.RL_METHODS == ["P-QP", "P-DDPG", "P-DQN", "BP-DQN"]
+    assert set(artifacts.PREDICTORS) == {"LSTM-MLP", "ED-LSTM", "GAS-LED", "LST-GAT"}
