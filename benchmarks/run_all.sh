@@ -1,5 +1,6 @@
 #!/bin/bash
 # Final deliverable runs (artifacts must be cached first).
+set -euo pipefail
 set -x
 cd /root/repo
 python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt

@@ -1,0 +1,82 @@
+"""Microbenchmark: vectorized vs scalar simulation step (BENCH_sim.json).
+
+Times the canonical hot-path workload -- ``dense_platoon`` with 30
+conventional vehicles stepped 200 times -- under both the scalar
+reference loop (``reference=True``) and the vectorized default, after
+first asserting the two produce bit-identical trajectories and
+collision records for the entire run.
+
+Measurement is interleaved (scalar, vectorized, scalar, ...) and the
+reported speedup is the ratio of best-of-N wall times, which is robust
+to the machine-noise spikes that plague mean-of-N on shared hardware.
+The result is written to ``BENCH_sim.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.sim.scenarios import dense_platoon
+
+STEPS = 200
+SIZE = 30
+SEED = 7
+REPEATS = 8
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+
+def trace(reference: bool):
+    """Full per-step trajectory of the workload, for exact comparison."""
+    engine = dense_platoon(seed=SEED, size=SIZE, reference=reference)
+    states = []
+    for _ in range(STEPS):
+        engine.step()
+        states.append([(vid, vehicle.state.lat, vehicle.state.lon,
+                        vehicle.state.v)
+                       for vid, vehicle in sorted(engine.vehicles.items())])
+    return states, list(engine.collisions)
+
+
+def timed_run(reference: bool) -> float:
+    """Wall time of stepping the workload once (engine build excluded)."""
+    engine = dense_platoon(seed=SEED, size=SIZE, reference=reference)
+    start = time.perf_counter()
+    for _ in range(STEPS):
+        engine.step()
+    return time.perf_counter() - start
+
+
+def test_vectorized_speedup():
+    ref_trace, ref_collisions = trace(reference=True)
+    vec_trace, vec_collisions = trace(reference=False)
+    assert vec_trace == ref_trace, "vectorized trajectories diverged"
+    assert vec_collisions == ref_collisions
+
+    scalar_times, vector_times = [], []
+    for _ in range(REPEATS):
+        scalar_times.append(timed_run(reference=True))
+        vector_times.append(timed_run(reference=False))
+
+    scalar_best = min(scalar_times)
+    vector_best = min(vector_times)
+    speedup = scalar_best / vector_best
+
+    result = {
+        "workload": {"scenario": "dense_platoon", "vehicles": SIZE,
+                     "steps": STEPS, "seed": SEED, "repeats": REPEATS},
+        "bit_identical": True,
+        "scalar_best_s": scalar_best,
+        "vectorized_best_s": vector_best,
+        "scalar_per_step_us": scalar_best / STEPS * 1e6,
+        "vectorized_per_step_us": vector_best / STEPS * 1e6,
+        "speedup": speedup,
+        "scalar_times_s": scalar_times,
+        "vectorized_times_s": vector_times,
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nBENCH_sim: scalar {result['scalar_per_step_us']:.0f}us/step, "
+          f"vectorized {result['vectorized_per_step_us']:.0f}us/step, "
+          f"speedup {speedup:.2f}x -> {RESULT_PATH.name}")
+
+    assert speedup >= 3.0, f"vectorized speedup {speedup:.2f}x below 3x target"

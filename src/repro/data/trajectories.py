@@ -182,3 +182,5 @@ def _advance_slowdowns(engine: SimulationEngine, rng: np.random.Generator,
         if vid not in active and rng.random() < rate:
             active[vid] = (duration, vehicle.profile.desired_speed)
             vehicle.profile.desired_speed *= float(rng.uniform(0.25, 0.55))
+    # Profiles were mutated in place; the engine caches them as arrays.
+    engine.invalidate_profiles()

@@ -147,6 +147,36 @@ class PDQNAgent(PamdpAgent):
         self._last_accels[behavior] = accel
         return ParameterizedAction(LaneBehavior(behavior), accel)
 
+    def act_batch(self, states: list[AugmentedState],
+                  explore: bool = False) -> list[ParameterizedAction]:
+        """Greedy actions for many states in one network forward.
+
+        Batching exploits the stacked matmuls of ``repro.nn``: K parallel
+        episodes cost one forward of batch K instead of K forwards of
+        batch 1.  Exploration draws are per-state sequential RNG, so
+        ``explore=True`` falls back to the scalar :meth:`act` loop
+        (which preserves the draw order) -- this helper targets greedy
+        evaluation.  Does not record ``last_aux``.
+        """
+        if explore:
+            return [self.act(state, explore=True) for state in states]
+        if not states:
+            return []
+        with nn.no_grad():
+            current = nn.Tensor(np.stack([state.current for state in states]))
+            future = nn.Tensor(np.stack([state.future for state in states]))
+            accels = self.x_net(current, future)
+            q_values = self.q_net(current, future, accels)
+        accel_rows = accels.numpy()
+        behaviors = np.argmax(q_values.numpy(), axis=1)
+        return [
+            ParameterizedAction(
+                LaneBehavior(int(behavior)),
+                float(np.clip(float(row[behavior]),
+                              -constants.A_MAX, constants.A_MAX)))
+            for row, behavior in zip(accel_rows, behaviors)
+        ]
+
     def last_aux(self) -> np.ndarray:
         """The full x_out executed at the last act() (for the replay aux)."""
         return getattr(self, "_last_accels", np.zeros(NUM_BEHAVIORS))

@@ -75,6 +75,9 @@ class DrivingEnv:
         Episode geometry and traffic volume.
     max_steps:
         Hard episode cap (guards against stalled policies).
+    reference:
+        Step episodes with the scalar reference engine instead of the
+        (bit-identical) vectorized path; used by equivalence tests.
     """
 
     AV_ID = "av"
@@ -83,12 +86,14 @@ class DrivingEnv:
                  reward: HybridReward | None = None,
                  road: Road | None = None,
                  density_per_km: float = constants.DENSITY_PER_KM,
-                 max_steps: int = 2000) -> None:
+                 max_steps: int = 2000,
+                 reference: bool = False) -> None:
         self.perception = perception
         self.reward = reward or HybridReward()
         self.road = road or Road()
         self.density_per_km = density_per_km
         self.max_steps = max_steps
+        self.reference = reference
         self.engine: SimulationEngine | None = None
         self.result = EpisodeResult()
         self._frame: PerceptionFrame | None = None
@@ -100,7 +105,8 @@ class DrivingEnv:
     def reset(self, seed: int) -> AugmentedState:
         """Start a fresh seeded episode and return the initial state."""
         self.engine, _ = build_episode(seed, road=self.road,
-                                       density_per_km=self.density_per_km)
+                                       density_per_km=self.density_per_km,
+                                       reference=self.reference)
         self.perception.reset()
         self.result = EpisodeResult()
         self._steps = 0

@@ -1,13 +1,16 @@
 """Evaluation harness: episode execution, paper metrics, table rendering."""
 
 from .metrics import EvaluationReport, aggregate
-from .episodes import run_episode, evaluate_controller, RewardStats, reward_statistics
+from .episodes import (run_episode, evaluate_controller,
+                       evaluate_controller_batch, RewardStats,
+                       reward_statistics)
 from .tables import render_table, render_metric_table, PAPER_COLUMNS
 from .significance import ConfidenceInterval, bootstrap_mean, bootstrap_difference
 
 __all__ = [
     "EvaluationReport", "aggregate",
-    "run_episode", "evaluate_controller", "RewardStats", "reward_statistics",
+    "run_episode", "evaluate_controller", "evaluate_controller_batch",
+    "RewardStats", "reward_statistics",
     "render_table", "render_metric_table", "PAPER_COLUMNS",
     "ConfidenceInterval", "bootstrap_mean", "bootstrap_difference",
 ]

@@ -19,8 +19,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from . import constants
-from .vehicle import DriverProfile
+from .vehicle import DriverProfile, ProfileArrays
 
 __all__ = ["CarFollowingModel", "IDM", "ACC", "Krauss", "free_road_gap"]
 
@@ -33,8 +35,33 @@ def free_road_gap() -> float:
     return FREE_ROAD_GAP
 
 
+def _pow_chain(base, exponent: float):
+    """``base ** exponent`` as a multiply chain for positive integer exponents.
+
+    Python's ``**`` routes through libm pow while numpy uses its own
+    vectorized pow; the two disagree by an ULP on some inputs.  A shared
+    left-associated multiplication chain makes the scalar and batched
+    model paths bit-identical.  Non-integer exponents fall back to pow
+    (and then carry no bit-identity guarantee).
+    """
+    k = int(exponent)
+    if float(k) != float(exponent) or k <= 0:
+        return base ** exponent
+    result = base
+    for _ in range(k - 1):
+        result = result * base
+    return result
+
+
 class CarFollowingModel:
-    """Interface: compute a longitudinal acceleration command."""
+    """Interface: compute a longitudinal acceleration command.
+
+    Models may additionally provide ``acceleration_batch`` operating on
+    aligned numpy arrays plus a :class:`ProfileArrays`; the engine uses
+    it to advance all conventional vehicles at once.  Batched
+    implementations must be bit-identical to their scalar counterparts
+    (same operations in the same order).
+    """
 
     def acceleration(self, v: float, leader_v: float, gap: float,
                      profile: DriverProfile) -> float:
@@ -44,6 +71,10 @@ class CarFollowingModel:
     @staticmethod
     def _bound(accel: float, limit: float = constants.A_MAX) -> float:
         return min(max(accel, -limit), limit)
+
+    @staticmethod
+    def _bound_batch(accel: np.ndarray, limit: float = constants.A_MAX) -> np.ndarray:
+        return np.minimum(np.maximum(accel, -limit), limit)
 
 
 @dataclass
@@ -56,14 +87,29 @@ class IDM(CarFollowingModel):
     def acceleration(self, v: float, leader_v: float, gap: float,
                      profile: DriverProfile) -> float:
         v0 = max(profile.desired_speed, 0.1)
-        free_term = 1.0 - (max(v, 0.0) / v0) ** self.delta
+        free_term = 1.0 - _pow_chain(max(v, 0.0) / v0, self.delta)
         if gap >= FREE_ROAD_GAP:
             return self._bound(profile.max_accel * free_term)
         gap = max(gap, 0.1)
         desired_gap = (self.jam_gap + v * profile.time_headway
                        + v * (v - leader_v) / (2.0 * math.sqrt(profile.max_accel * profile.comfort_decel)))
-        interaction = (max(desired_gap, 0.0) / gap) ** 2
+        ratio = max(desired_gap, 0.0) / gap
+        interaction = ratio * ratio
         return self._bound(profile.max_accel * (free_term - interaction))
+
+    def acceleration_batch(self, v: np.ndarray, leader_v: np.ndarray,
+                           gap: np.ndarray, profiles: ProfileArrays) -> np.ndarray:
+        free_term = 1.0 - _pow_chain(np.maximum(v, 0.0) / profiles.desired_speed_floor,
+                                     self.delta)
+        free = gap >= FREE_ROAD_GAP
+        gap = np.maximum(gap, 0.1)
+        desired_gap = (self.jam_gap + v * profiles.time_headway
+                       + v * (v - leader_v) / profiles.twice_sqrt_accel_decel)
+        ratio = np.maximum(desired_gap, 0.0) / gap
+        interaction = ratio * ratio
+        accel = np.where(free, profiles.max_accel * free_term,
+                         profiles.max_accel * (free_term - interaction))
+        return self._bound_batch(accel)
 
 
 @dataclass
@@ -85,6 +131,15 @@ class ACC(CarFollowingModel):
         desired_gap = profile.min_gap + profile.time_headway * v
         accel = self.k_gap * (gap - desired_gap) + self.k_speed * (leader_v - v)
         return self._bound(min(accel, self.k_free * (profile.desired_speed - v)))
+
+    def acceleration_batch(self, v: np.ndarray, leader_v: np.ndarray,
+                           gap: np.ndarray, profiles: ProfileArrays) -> np.ndarray:
+        free = gap >= FREE_ROAD_GAP
+        free_accel = self.k_free * (profiles.desired_speed - v)
+        desired_gap = profiles.min_gap + profiles.time_headway * v
+        accel = self.k_gap * (gap - desired_gap) + self.k_speed * (leader_v - v)
+        return self._bound_batch(np.where(free, free_accel,
+                                          np.minimum(accel, free_accel)))
 
 
 @dataclass
@@ -115,3 +170,25 @@ class Krauss(CarFollowingModel):
             v_desired = min(v_desired, max(v_safe, 0.0))
         v_next = max(v_desired - self.dawdle * profile.max_accel * dt * profile.imperfection, 0.0)
         return self._bound((v_next - v) / dt)
+
+    def acceleration_batch(self, v: np.ndarray, leader_v: np.ndarray,
+                           gap: np.ndarray, profiles: ProfileArrays) -> np.ndarray:
+        dt = constants.DT
+        v_desired = np.minimum(v + profiles.max_accel_step, profiles.desired_speed)
+        following = gap < FREE_ROAD_GAP
+        gap = np.maximum(gap - profiles.min_gap, 0.0)
+        # x * 1.0 == x bitwise in IEEE-754, so the default tau skips a mul.
+        headway = leader_v if self.tau == 1.0 else leader_v * self.tau
+        v_safe = leader_v + (gap - headway) / ((v + leader_v) / profiles.twice_comfort_decel + self.tau)
+        v_desired = np.where(following,
+                             np.minimum(v_desired, np.maximum(v_safe, 0.0)),
+                             v_desired)
+        if self.dawdle == 0.0:
+            # The subtrahend is exactly 0.0, and x - 0.0 == x: skip the
+            # four dead array ops without changing a single bit.
+            v_next = np.maximum(v_desired, 0.0)
+        else:
+            v_next = np.maximum(
+                v_desired - self.dawdle * profiles.max_accel * dt * profiles.imperfection,
+                0.0)
+        return self._bound_batch((v_next - v) / dt)

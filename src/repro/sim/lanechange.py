@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .carfollowing import CarFollowingModel, free_road_gap
-from .vehicle import DriverProfile, Vehicle
+import numpy as np
+
+from .carfollowing import CarFollowingModel, FREE_ROAD_GAP, free_road_gap
+from .vehicle import DriverProfile, ProfileArrays, Vehicle
 
 __all__ = ["LaneChangeDecision", "MOBIL"]
 
@@ -116,3 +118,84 @@ class MOBIL:
         gap = vehicle.gap_to(leader) if leader is not None else free_road_gap()
         leader_v = leader.v if leader is not None else 0.0
         return self.model.acceleration(vehicle.v, leader_v, gap, profile)
+
+    # ------------------------------------------------------------------
+    # batched path (bit-identical to evaluate()/decide() above)
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, v: np.ndarray, rear: np.ndarray,
+                       profiles: ProfileArrays,
+                       ego: np.ndarray, follower: np.ndarray,
+                       has_leader: np.ndarray, leader_v: np.ndarray,
+                       leader_gap: np.ndarray, leader_rear: np.ndarray,
+                       has_follower: np.ndarray, follower_v: np.ndarray,
+                       follower_lon: np.ndarray,
+                       own_rows: np.ndarray, own_v: np.ndarray,
+                       own_leader_v: np.ndarray, own_gap: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`evaluate` for one candidate direction.
+
+        All arrays are aligned per deciding vehicle.  ``profiles`` holds
+        the whole population; ``ego`` and ``follower`` map each row to
+        its changer / prospective-follower profile row.  Rows where
+        ``has_leader``/``has_follower`` are false may carry arbitrary
+        finite values in the corresponding neighbor columns -- except
+        ``leader_v``, which the caller must already mask to 0.0 -- and
+        they are masked exactly as the scalar path's ``None`` branches.
+
+        ``own_rows``/``own_v``/``own_leader_v``/``own_gap`` describe
+        each vehicle's *current-lane* car-following situation (already
+        masked); its acceleration is both the incentive baseline and the
+        step's longitudinal command, so it rides along as a fourth block
+        of the stacked model call instead of costing a separate one.
+
+        Returns ``(incentive, own_accel)``: the per-row incentive
+        (``-inf`` where the safety criterion fails) and the current-lane
+        acceleration per vehicle.
+        """
+        leader_gap = np.where(has_leader, leader_gap, FREE_ROAD_GAP)
+        gap_after = rear - follower_lon
+        follower_before_gap = np.where(has_leader, leader_rear - follower_lon,
+                                       FREE_ROAD_GAP)
+
+        # One stacked car-following call scores all four situations
+        # (changer in the new lane; new follower after / before the
+        # change; changer in its current lane) -- four model
+        # invocations' worth of fixed per-op dispatch cost collapse
+        # into one.
+        rows = v.shape[0]
+        stacked = self.model.acceleration_batch(
+            np.concatenate((v, follower_v, follower_v, own_v)),
+            np.concatenate((leader_v, v, leader_v, own_leader_v)),
+            np.concatenate((leader_gap, gap_after, follower_before_gap, own_gap)),
+            profiles.view(np.concatenate((ego, follower, follower, own_rows))))
+        own_new = stacked[:rows]
+        follower_after = stacked[rows:2 * rows]
+        follower_before = stacked[2 * rows:3 * rows]
+        own_accel = stacked[3 * rows:]
+        follower_cost = np.where(has_follower, follower_before - follower_after, 0.0)
+
+        min_gap_floor = profiles.min_gap_floor
+        blocked = has_follower & (gap_after <= min_gap_floor[follower])
+        blocked |= has_follower & (follower_after < -self.safe_decel)
+        blocked |= has_leader & (leader_gap <= min_gap_floor[ego])
+        blocked |= own_new < -self.safe_decel
+
+        own_now = np.concatenate((own_accel, own_accel))
+        incentive = (own_new - own_now) - profiles.politeness[ego] * follower_cost
+        return np.where(blocked, -np.inf, incentive), own_accel
+
+    def decide_batch(self, incentive_left: np.ndarray, incentive_right: np.ndarray,
+                     thresholds: np.ndarray, valid_left: np.ndarray,
+                     valid_right: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`decide`: lane deltas in {-1, 0, +1} per row.
+
+        Invalid lanes are scored ``-inf``, which is outcome-equivalent
+        to the scalar path's missing candidate (it can never beat the
+        strict threshold).  Ties prefer left, matching ``max()`` over a
+        [left, right] candidate list.
+        """
+        incentive_left = np.where(valid_left, incentive_left, -np.inf)
+        incentive_right = np.where(valid_right, incentive_right, -np.inf)
+        best = np.maximum(incentive_left, incentive_right)
+        delta = np.where(incentive_left >= incentive_right, -1, 1)
+        return np.where(best > thresholds, delta, 0)

@@ -15,17 +15,24 @@ vehicle, exercising one canonical interaction pattern:
 
 All scenarios return ``(engine, av)`` with the AV uncontrolled; tests
 and examples drive it via ``engine.set_maneuver``.
+
+:func:`dense_platoon` is different: a CV-only packed steady-state scene
+used by the vectorization benchmark and the equivalence/property tests,
+returning just the engine.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .carfollowing import CarFollowingModel
 from .engine import SimulationEngine
 from .road import Road
+from .spawn import random_profile
 from .vehicle import DriverProfile, Vehicle, VehicleState
 
-__all__ = ["cut_in", "stop_and_go_wave", "blocked_lane", "platoon"]
+__all__ = ["cut_in", "stop_and_go_wave", "blocked_lane", "platoon",
+           "dense_platoon"]
 
 
 def _engine(num_lanes: int = 3, length: float = 2000.0) -> SimulationEngine:
@@ -103,3 +110,38 @@ def platoon(size: int = 5, headway: float = 25.0, speed: float = 20.0
     av = engine.add_vehicle(Vehicle("av", VehicleState(1, 200.0 - headway, speed),
                                     is_autonomous=True))
     return engine, av
+
+
+def dense_platoon(seed: int = 0, size: int = 30, num_lanes: int = 3,
+                  road_length: float = 3000.0,
+                  reference: bool = False,
+                  car_following: CarFollowingModel | None = None
+                  ) -> SimulationEngine:
+    """Packed CV-only traffic that stays on the road: the benchmark scene.
+
+    ``size`` heterogeneous conventional vehicles are squeezed into the
+    first ~400 m of a long road, so for hundreds of steps every vehicle
+    keeps following, dawdling, and competing for lanes -- a steady-state
+    hot-path workload with no retirements, unlike open-road episodes
+    that drain and leave the step loop underloaded.
+    """
+    rng = np.random.default_rng(seed)
+    engine = SimulationEngine(road=Road(length=road_length, num_lanes=num_lanes),
+                              car_following=car_following,
+                              rng=rng, reference=reference)
+    per_lane = (size + num_lanes - 1) // num_lanes
+    spacing = 380.0 / per_lane
+    placed = 0
+    for lane in range(1, num_lanes + 1):
+        for slot in range(per_lane):
+            if placed >= size:
+                break
+            lon = 20.0 + slot * spacing + float(rng.uniform(-3.0, 3.0))
+            profile = random_profile(rng, engine.road)
+            velocity = float(np.clip(profile.desired_speed * rng.uniform(0.6, 0.9),
+                                     engine.road.v_min, engine.road.v_max))
+            engine.add_vehicle(Vehicle(f"cv{placed:03d}",
+                                       VehicleState(lane, lon, velocity),
+                                       profile=profile))
+            placed += 1
+    return engine

@@ -162,15 +162,20 @@ def insert_autonomous_vehicle(engine: SimulationEngine, rng: np.random.Generator
 
 def build_episode(seed: int, road: Road | None = None,
                   density_per_km: float = constants.DENSITY_PER_KM,
-                  history_length: int = constants.HISTORY_STEPS + 1
+                  history_length: int = constants.HISTORY_STEPS + 1,
+                  car_following=None, reference: bool = False
                   ) -> tuple[SimulationEngine, Vehicle]:
     """Create a fully initialized episode: populated road plus the AV.
 
     Every episode is seeded so experiments are reproducible while each
     episode differs (the paper randomizes episode initialization).
+    ``car_following`` overrides the default Krauss model; ``reference``
+    selects the scalar engine path (for equivalence testing).
     """
     rng = np.random.default_rng(seed)
-    engine = SimulationEngine(road=road or Road(), rng=rng, history_length=history_length)
+    engine = SimulationEngine(road=road or Road(), car_following=car_following,
+                              rng=rng, history_length=history_length,
+                              reference=reference)
     lane_guess = None
     populate_traffic(engine, rng, density_per_km,
                      keep_clear=(lane_guess or 0, 0.0, SPAWN_CLEARANCE))

@@ -1,0 +1,129 @@
+"""Tests for the batched evaluation harness (`evaluate_controller_batch`).
+
+The batched runner must be a drop-in replacement for the sequential
+one: with ``batch_size=1`` it replays the exact same episodes (same
+seeds, same controller decisions, same step caps), so the reports are
+equal field for field.  With larger batches the episodes are
+independent, so the aggregate is still identical -- only the
+interleaving changes.  RL agents additionally expose ``act_batch``,
+whose greedy decisions must match ``act`` state for state.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.decision import (AgentController, DrivingEnv, HybridReward,
+                            IDMLCPolicy, PDQNAgent, TPBTSPolicy)
+from repro.eval import evaluate_controller, evaluate_controller_batch
+from repro.perception import EnhancedPerception
+from repro.sim import Road
+
+
+def make_env(max_steps=40, length=400.0, density=100):
+    return DrivingEnv(EnhancedPerception(predictor=None), reward=HybridReward(),
+                      road=Road(length=length), density_per_km=density,
+                      max_steps=max_steps)
+
+
+def assert_reports_equal(batched, sequential):
+    """Exact field-by-field equality, treating matching NaNs as equal.
+
+    Metrics over an empty population (e.g. ``avg_dt_c`` when no CV
+    finishes within the step cap) are NaN, which breaks plain dataclass
+    ``==`` even for identical reports.
+    """
+    np.testing.assert_equal(dataclasses.asdict(batched),
+                            dataclasses.asdict(sequential))
+
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+class TestBatchMatchesSequential:
+    def test_batch_of_one_rule_based(self):
+        sequential = evaluate_controller(IDMLCPolicy(), make_env(), SEEDS)
+        batched = evaluate_controller_batch(IDMLCPolicy(), make_env(), SEEDS,
+                                            batch_size=1)
+        assert_reports_equal(batched, sequential)
+
+    def test_batch_of_one_stateless(self):
+        controller = TPBTSPolicy(depth=1)
+        sequential = evaluate_controller(controller, make_env(), SEEDS)
+        batched = evaluate_controller_batch(controller, make_env(), SEEDS,
+                                            batch_size=1)
+        assert_reports_equal(batched, sequential)
+
+    def test_multi_batch_aggregates_identically(self):
+        """Episodes are independent, so interleaving cannot change them."""
+        sequential = evaluate_controller(IDMLCPolicy(), make_env(), SEEDS)
+        for batch_size in (2, 3, 8):
+            batched = evaluate_controller_batch(IDMLCPolicy(), make_env(),
+                                                SEEDS, batch_size=batch_size)
+            assert_reports_equal(batched, sequential)
+
+    def test_respects_max_steps_override(self):
+        sequential = evaluate_controller(IDMLCPolicy(), make_env(max_steps=200),
+                                         SEEDS, max_steps=25)
+        batched = evaluate_controller_batch(IDMLCPolicy(), make_env(max_steps=200),
+                                            SEEDS, batch_size=3, max_steps=25)
+        assert_reports_equal(batched, sequential)
+
+    def test_empty_seed_list_raises_like_sequential(self):
+        with pytest.raises(ValueError):
+            evaluate_controller(IDMLCPolicy(), make_env(), [])
+        with pytest.raises(ValueError):
+            evaluate_controller_batch(IDMLCPolicy(), make_env(), [])
+
+    def test_more_slots_than_seeds(self):
+        sequential = evaluate_controller(IDMLCPolicy(), make_env(), [3, 4])
+        batched = evaluate_controller_batch(IDMLCPolicy(), make_env(), [3, 4],
+                                            batch_size=16)
+        assert_reports_equal(batched, sequential)
+
+
+class TestAgentBatching:
+    @pytest.fixture(scope="class")
+    def agent(self):
+        return PDQNAgent(branched=True, hidden_dim=16,
+                         rng=np.random.default_rng(0))
+
+    def test_act_batch_matches_act(self, agent):
+        env = make_env()
+        states = [env.reset(seed) for seed in range(6)]
+        batched = agent.act_batch(states, explore=False)
+        singles = [agent.act(state, explore=False) for state in states]
+        assert len(batched) == len(singles)
+        for one, many in zip(singles, batched):
+            assert many.behavior is one.behavior
+            # A multi-row matmul may take a different BLAS path than the
+            # single-row forward, so allow ULP-level drift here; exact
+            # equality is required only for batch-of-1 (next test).
+            assert many.accel == pytest.approx(one.accel, rel=1e-12, abs=1e-12)
+
+    def test_act_batch_of_one_is_exact(self, agent):
+        env = make_env()
+        for seed in range(4):
+            state = env.reset(seed)
+            (batched,) = agent.act_batch([state], explore=False)
+            single = agent.act(state, explore=False)
+            assert batched.behavior is single.behavior
+            assert batched.accel == single.accel
+
+    def test_act_batch_empty(self, agent):
+        assert agent.act_batch([], explore=False) == []
+
+    def test_agent_controller_batch_of_one(self, agent):
+        controller = AgentController(agent, name="pdqn")
+        sequential = evaluate_controller(controller, make_env(), SEEDS[:3])
+        batched = evaluate_controller_batch(controller, make_env(), SEEDS[:3],
+                                            batch_size=1)
+        assert_reports_equal(batched, sequential)
+
+    def test_agent_controller_multi_batch(self, agent):
+        """Shared stateless controller: one forward pass per front."""
+        controller = AgentController(agent, name="pdqn")
+        report = evaluate_controller_batch(controller, make_env(), SEEDS[:4],
+                                           batch_size=4)
+        assert report.episodes == 4

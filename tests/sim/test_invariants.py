@@ -1,0 +1,108 @@
+"""Property-based invariants of the vectorized simulation step.
+
+Hypothesis drives the engine through randomized dense scenes and checks
+physical invariants that must hold regardless of seed, fleet size, or
+lane count:
+
+* speeds stay within ``[0, v_max]`` for conventional vehicles;
+* CV-only traffic never overlaps (and never records a crash);
+* every MOBIL-selected lane change satisfied the safety criterion in
+  the pre-step world (gap floors and the deceleration bound);
+* retired vehicles never reappear, and the retired set only grows.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Road, build_episode, constants
+from repro.sim.lanechange import SAFE_DECEL
+from repro.sim.scenarios import dense_platoon
+
+COMMON = dict(deadline=None, max_examples=15)
+
+
+def kinematics(engine):
+    """Pre-step view: vid -> (lane, lon, rear, v, profile)."""
+    return {vid: (vehicle.lane, vehicle.lon, vehicle.rear, vehicle.v,
+                  vehicle.profile)
+            for vid, vehicle in engine.vehicles.items()}
+
+
+@settings(**COMMON)
+@given(seed=st.integers(0, 10_000), size=st.integers(6, 30),
+       num_lanes=st.integers(2, 4))
+def test_speeds_stay_bounded(seed, size, num_lanes):
+    engine = dense_platoon(seed=seed, size=size, num_lanes=num_lanes)
+    for _ in range(40):
+        engine.step()
+        for vehicle in engine.vehicles.values():
+            assert 0.0 <= vehicle.v <= engine.road.v_max
+
+
+@settings(**COMMON)
+@given(seed=st.integers(0, 10_000), size=st.integers(6, 30))
+def test_cv_only_traffic_never_overlaps(seed, size):
+    engine = dense_platoon(seed=seed, size=size)
+    for _ in range(40):
+        engine.step()
+        assert not engine.collisions
+        by_lane = {}
+        for vehicle in engine.vehicles.values():
+            by_lane.setdefault(vehicle.lane, []).append(vehicle.lon)
+        for lons in by_lane.values():
+            lons.sort()
+            for behind, ahead in zip(lons, lons[1:]):
+                assert ahead - behind >= constants.VEHICLE_LENGTH
+
+
+@settings(**COMMON)
+@given(seed=st.integers(0, 10_000), size=st.integers(10, 30))
+def test_mobil_changes_respect_safety(seed, size):
+    """Whenever a CV switches lanes, the gap it took was MOBIL-safe."""
+    engine = dense_platoon(seed=seed, size=size)
+    model = engine.car_following
+    for _ in range(40):
+        before = kinematics(engine)
+        engine.step()
+        for vid, vehicle in engine.vehicles.items():
+            if vid not in before or vehicle.lane == before[vid][0]:
+                continue
+            _, ego_lon, ego_rear, ego_v, ego_profile = before[vid]
+            # Reconstruct the pre-step neighbors in the target lane with
+            # the engine's strictly-ahead / strictly-behind semantics.
+            leader = follower = None
+            for other_vid, (lane, lon, rear, v, profile) in before.items():
+                if other_vid == vid or lane != vehicle.lane:
+                    continue
+                if lon > ego_lon and (leader is None or lon < leader[0]):
+                    leader = (lon, rear, v, profile)
+                if lon < ego_lon and (follower is None or lon > follower[0]):
+                    follower = (lon, rear, v, profile)
+            if leader is not None:
+                lead_lon, lead_rear, lead_v, _ = leader
+                assert lead_rear - ego_lon > max(ego_profile.min_gap, 1.0)
+                own_new = model.acceleration(ego_v, lead_v,
+                                             lead_rear - ego_lon, ego_profile)
+                assert own_new >= -SAFE_DECEL
+            if follower is not None:
+                fol_lon, _, fol_v, fol_profile = follower
+                gap_after = ego_rear - fol_lon
+                assert gap_after > max(fol_profile.min_gap, 1.0)
+                follower_after = model.acceleration(fol_v, ego_v, gap_after,
+                                                    fol_profile)
+                assert follower_after >= -SAFE_DECEL
+
+
+@settings(**COMMON)
+@given(seed=st.integers(0, 10_000))
+def test_retired_vehicles_never_reappear(seed):
+    """On a short road the fleet drains; retirements are permanent."""
+    engine, _ = build_episode(seed, road=Road(length=300.0),
+                              density_per_km=120.0)
+    seen_retired = set()
+    for _ in range(120):
+        engine.step()
+        retired = set(engine.retired)
+        assert seen_retired <= retired, "a retirement was undone"
+        seen_retired = retired
+        assert not (seen_retired & set(engine.vehicles)), \
+            "a retired vehicle is still active"
