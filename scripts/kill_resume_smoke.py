@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke test for crash-safe training.
+
+Starts a checkpointed CLI training run, SIGKILLs it as soon as the
+first checkpoint lands on disk, reruns the same command to completion
+(which resumes from the checkpoint), and asserts the resulting training
+log is identical to an uninterrupted reference run.  Exercises the full
+production path -- ``python -m repro.cli train`` in a real subprocess,
+a real ``SIGKILL``, state recovered purely from disk.
+
+Usage::
+
+    PYTHONPATH=src python scripts/kill_resume_smoke.py [--episodes 6]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKPOINT_NAME = "train.ckpt.npz"
+
+
+def train_command(out: Path, log: Path, args: argparse.Namespace) -> list[str]:
+    return [sys.executable, "-m", "repro.cli", "train",
+            "--scale", "quick", "--skip-perception",
+            "--seed", str(args.seed),
+            "--episodes", str(args.episodes),
+            "--max-steps", str(args.max_steps),
+            "--checkpoint-every", "1",
+            "--out", str(out), "--log-json", str(log)]
+
+
+def run_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
+
+
+def start_and_kill(out: Path, log: Path, args: argparse.Namespace) -> None:
+    """Launch training and SIGKILL it right after the first checkpoint."""
+    process = subprocess.Popen(train_command(out, log, args), env=run_env(),
+                               stdout=subprocess.DEVNULL,
+                               stderr=subprocess.STDOUT)
+    checkpoint = out / CHECKPOINT_NAME
+    deadline = time.monotonic() + args.kill_timeout
+    try:
+        while time.monotonic() < deadline:
+            if checkpoint.exists():
+                break
+            if process.poll() is not None:
+                raise SystemExit(
+                    f"training exited (rc={process.returncode}) before the "
+                    f"first checkpoint; nothing to kill")
+            time.sleep(0.05)
+        else:
+            raise SystemExit("no checkpoint appeared within "
+                             f"{args.kill_timeout}s")
+        process.send_signal(signal.SIGKILL)
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.wait()
+    print(f"killed training run (pid {process.pid}) "
+          f"after {checkpoint.name} appeared")
+    if log.exists():
+        raise SystemExit("killed run wrote its final log -- it was not "
+                         "actually interrupted")
+
+
+def run_to_completion(out: Path, log: Path, args: argparse.Namespace) -> dict:
+    subprocess.run(train_command(out, log, args), env=run_env(), check=True,
+                   stdout=subprocess.DEVNULL)
+    return json.loads(log.read_text())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=6)
+    parser.add_argument("--max-steps", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--kill-timeout", type=float, default=300.0)
+    args = parser.parse_args()
+
+    workdir = Path(tempfile.mkdtemp(prefix="kill-resume-smoke-"))
+    try:
+        interrupted_out = workdir / "interrupted"
+        reference_out = workdir / "reference"
+
+        start_and_kill(interrupted_out, workdir / "interrupted.json", args)
+        resumed = run_to_completion(interrupted_out,
+                                    workdir / "interrupted.json", args)
+        print(f"resumed from episode {resumed['resumed_episodes']} "
+              f"and finished {len(resumed['episode_rewards'])} episodes")
+        if resumed["resumed_episodes"] < 1:
+            raise SystemExit("second run did not resume from the checkpoint")
+
+        reference = run_to_completion(reference_out,
+                                      workdir / "reference.json", args)
+
+        for key in ("episode_rewards", "episode_steps", "collisions"):
+            if resumed[key] != reference[key]:
+                raise SystemExit(
+                    f"MISMATCH in {key}:\n  resumed:   {resumed[key]}\n"
+                    f"  reference: {reference[key]}")
+        print(f"OK: resumed run reproduced the uninterrupted log "
+              f"({args.episodes} episodes, rewards match exactly)")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the decision-training episode count")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", default="checkpoints/head")
+    train.add_argument("--checkpoint-every", type=int, default=0,
+                       help="snapshot full training state every N episodes "
+                            "(0 disables crash-safe checkpointing)")
+    train.add_argument("--no-resume", action="store_true",
+                       help="ignore an existing training checkpoint")
+    train.add_argument("--skip-perception", action="store_true",
+                       help="train the decision module only")
+    train.add_argument("--max-steps", type=int, default=None,
+                       help="cap each training episode at this many steps")
+    train.add_argument("--log-json", default=None,
+                       help="write the per-episode training log to this file")
 
     evaluate = commands.add_parser("evaluate", help="paper metrics on test episodes")
     evaluate.add_argument("--checkpoint", default=None)
@@ -64,6 +75,20 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--episodes", type=int, default=10)
     evaluate.add_argument("--baseline", action="store_true",
                           help="also evaluate IDM-LC for comparison")
+
+    degradation = commands.add_parser(
+        "degradation", help="sweep fault intensity and report robustness")
+    degradation.add_argument("--checkpoint", default=None)
+    degradation.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    degradation.add_argument("--episodes", type=int, default=5)
+    degradation.add_argument("--intensities", default="0,0.25,0.5,1.0",
+                             help="comma-separated fault intensities")
+    degradation.add_argument("--max-steps", type=int, default=None)
+    degradation.add_argument("--fault-seed", type=int, default=0)
+    degradation.add_argument("--no-fallback", action="store_true",
+                             help="disable the TTC safety fallback policy")
+    degradation.add_argument("--out", default=None,
+                             help="write the sweep as JSON to this file")
 
     drive = commands.add_parser("drive", help="replay one episode as ASCII art")
     drive.add_argument("--checkpoint", default=None)
@@ -96,17 +121,57 @@ def cmd_generate_data(args: argparse.Namespace) -> int:
 
 def cmd_train(args: argparse.Namespace) -> int:
     head = _make_head(args.scale, args.seed, checkpoint=None)
-    print("training LST-GAT ...")
-    trajectories = generate_real_dataset(seed=args.seed, steps=200)
-    perception = head.train_perception(trajectories, max_egos=6)
-    print(f"  final loss {perception.final_loss:.4f}")
+    if args.skip_perception:
+        print("skipping LST-GAT training (--skip-perception)")
+    else:
+        print("training LST-GAT ...")
+        trajectories = generate_real_dataset(seed=args.seed, steps=200)
+        perception = head.train_perception(trajectories, max_egos=6)
+        print(f"  final loss {perception.final_loss:.4f}")
     episodes = args.episodes or head.config.training_episodes
     print(f"training BP-DQN for {episodes} episodes ...")
-    decision = head.train_decision(episodes=episodes)
+    checkpoint_dir = args.out if args.checkpoint_every > 0 else None
+    decision = head.train_decision(episodes=episodes,
+                                   checkpoint_dir=checkpoint_dir,
+                                   checkpoint_every=args.checkpoint_every,
+                                   resume=not args.no_resume,
+                                   max_episode_steps=args.max_steps)
+    if decision.resumed_episodes:
+        print(f"  resumed from episode {decision.resumed_episodes}")
     print(f"  collisions {decision.collisions}/{decision.episodes}, "
           f"recent reward {decision.mean_recent_reward():.3f}")
+    if args.log_json:
+        import json
+        from pathlib import Path
+        log_path = Path(args.log_json)
+        log_path.parent.mkdir(parents=True, exist_ok=True)
+        log_path.write_text(json.dumps({
+            "episode_rewards": decision.episode_rewards,
+            "episode_steps": decision.episode_steps,
+            "collisions": decision.collisions,
+            "nan_rollbacks": decision.nan_rollbacks,
+            "resumed_episodes": decision.resumed_episodes,
+        }, indent=2) + "\n")
+        print(f"  training log written to {log_path}")
     path = head.save(args.out)
     print(f"checkpoint saved to {path}")
+    return 0
+
+
+def cmd_degradation(args: argparse.Namespace) -> int:
+    from .eval import degradation_sweep
+
+    head = _make_head(args.scale, 0, args.checkpoint)
+    intensities = [float(value) for value in args.intensities.split(",")]
+    seeds = range(900, 900 + args.episodes)
+    report = degradation_sweep(head, intensities, seeds,
+                               max_steps=args.max_steps,
+                               use_fallback=not args.no_fallback,
+                               fault_seed=args.fault_seed)
+    print(report.render())
+    if args.out:
+        path = report.save(args.out)
+        print(f"sweep written to {path}")
     return 0
 
 
@@ -154,6 +219,7 @@ COMMANDS = {
     "generate-data": cmd_generate_data,
     "train": cmd_train,
     "evaluate": cmd_evaluate,
+    "degradation": cmd_degradation,
     "drive": cmd_drive,
     "info": cmd_info,
 }

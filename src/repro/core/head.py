@@ -25,6 +25,7 @@ from ..decision.reward import HybridReward
 from ..decision.trainer import RLTrainingLog, train_agent
 from ..eval.episodes import evaluate_controller
 from ..eval.metrics import EvaluationReport
+from ..faults.guard import PerceptionGuard
 from ..nn.serialization import load_module, save_module
 from ..perception.dataset import build_samples
 from ..perception.lstgat import LSTGAT
@@ -54,8 +55,15 @@ class HEAD(object):
                                     lstm_dim=cfg.lstm_dim,
                                     history_steps=cfg.history_steps,
                                     rng=self.rng)
+        # The guard is bit-transparent for healthy predictions; online
+        # perception consumes it in place of the raw predictor while
+        # training (:meth:`train_perception`) keeps optimizing the raw
+        # module directly.
+        self.guard: PerceptionGuard | None = None
+        if self.predictor is not None and cfg.use_guard:
+            self.guard = PerceptionGuard(self.predictor)
         self.perception = EnhancedPerception(
-            predictor=self.predictor,
+            predictor=self.guard or self.predictor,
             sensor=Sensor(detection_range=cfg.sensor_range),
             history_steps=cfg.history_steps,
             use_phantoms=cfg.use_phantoms,
@@ -107,12 +115,25 @@ class HEAD(object):
 
     def train_decision(self, episodes: int | None = None,
                        seed_offset: int = 10_000,
-                       env: DrivingEnv | None = None) -> RLTrainingLog:
-        """Train BP-DQN in the simulator (paper: 4,000 episodes)."""
+                       env: DrivingEnv | None = None,
+                       checkpoint_dir: str | Path | None = None,
+                       checkpoint_every: int = 0,
+                       resume: bool = True,
+                       max_episode_steps: int | None = None) -> RLTrainingLog:
+        """Train BP-DQN in the simulator (paper: 4,000 episodes).
+
+        With ``checkpoint_dir``/``checkpoint_every`` set, the run is
+        crash-safe: training state is snapshotted atomically and a
+        killed process resumes to the same learning curve.
+        """
         env = env or self.make_env()
         return train_agent(self.agent, env,
                            episodes=episodes or self.config.training_episodes,
-                           seed_offset=seed_offset)
+                           seed_offset=seed_offset,
+                           checkpoint_dir=checkpoint_dir,
+                           checkpoint_every=checkpoint_every,
+                           resume=resume,
+                           max_episode_steps=max_episode_steps)
 
     # ------------------------------------------------------------------
     # evaluation

@@ -11,7 +11,8 @@ from .agents import EpsilonSchedule, PamdpAgent, PDQNAgent, PQPAgent, PDDPGAgent
 from .policies import (Controller, AgentController, RuleBasedPolicy, IDMLCPolicy,
                        ACCLCPolicy, TPBTSPolicy, DISCRETE_ACCELS)
 from .drlsc import DRLSCAgent, DRLSCController, MANEUVERS
-from .trainer import RLTrainingLog, train_agent
+from .safety import SafetyFallbackPolicy, front_ttc
+from .trainer import RLTrainingLog, train_agent, NaNLossError, CHECKPOINT_NAME
 
 __all__ = [
     "LaneBehavior", "ParameterizedAction", "AugmentedState",
@@ -25,5 +26,6 @@ __all__ = [
     "Controller", "AgentController", "RuleBasedPolicy", "IDMLCPolicy",
     "ACCLCPolicy", "TPBTSPolicy", "DISCRETE_ACCELS",
     "DRLSCAgent", "DRLSCController", "MANEUVERS",
-    "RLTrainingLog", "train_agent",
+    "SafetyFallbackPolicy", "front_ttc",
+    "RLTrainingLog", "train_agent", "NaNLossError", "CHECKPOINT_NAME",
 ]

@@ -78,6 +78,14 @@ class DrivingEnv:
     reference:
         Step episodes with the scalar reference engine instead of the
         (bit-identical) vectorized path; used by equivalence tests.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector` applying
+        actuator faults to every commanded action; it is reset with the
+        episode seed on :meth:`reset` so fault realizations are
+        reproducible per episode.  Sensor-side faults are wired by
+        giving ``perception`` a
+        :class:`~repro.faults.injector.FaultySensor` sharing the same
+        injector.
     """
 
     AV_ID = "av"
@@ -87,13 +95,15 @@ class DrivingEnv:
                  road: Road | None = None,
                  density_per_km: float = constants.DENSITY_PER_KM,
                  max_steps: int = 2000,
-                 reference: bool = False) -> None:
+                 reference: bool = False,
+                 faults=None) -> None:
         self.perception = perception
         self.reward = reward or HybridReward()
         self.road = road or Road()
         self.density_per_km = density_per_km
         self.max_steps = max_steps
         self.reference = reference
+        self.faults = faults
         self.engine: SimulationEngine | None = None
         self.result = EpisodeResult()
         self._frame: PerceptionFrame | None = None
@@ -107,6 +117,8 @@ class DrivingEnv:
         self.engine, _ = build_episode(seed, road=self.road,
                                        density_per_km=self.density_per_km,
                                        reference=self.reference)
+        if self.faults is not None:
+            self.faults.reset(seed)
         self.perception.reset()
         self.result = EpisodeResult()
         self._steps = 0
@@ -138,6 +150,8 @@ class DrivingEnv:
             raise RuntimeError("call reset() before step()")
         if self.done():
             raise RuntimeError("episode is over; call reset()")
+        if self.faults is not None:
+            action = self.faults.filter_action(action)
         engine = self.engine
         av = engine.get(self.AV_ID)
 

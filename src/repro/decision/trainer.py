@@ -4,23 +4,42 @@ Drives a :class:`~repro.decision.environment.DrivingEnv` with an agent,
 stores transitions, and performs one optimization step per environment
 step (paper: Adam, 4,000 episodes, batch 64; episode counts are
 configurable because this reproduction trains on CPU).
+
+The loop is crash-safe when given a ``checkpoint_dir``: every
+``checkpoint_every`` episodes the full mutable training state (networks,
+optimizer moments, replay buffer, RNG streams, reward history) is
+written atomically via :mod:`repro.faults.checkpoint`, a killed process
+resumes from the last checkpoint to the *same* learning curve, and a
+non-finite loss or reward triggers a rollback to the last good
+checkpoint instead of silently corrupting the run.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
+import numpy as np
+
+from ..faults.checkpoint import load_checkpoint, save_checkpoint
 from .agents import PamdpAgent
 from .environment import DrivingEnv
 from .pamdp import ParameterizedAction
 from .replay import Transition
 
-__all__ = ["RLTrainingLog", "train_agent"]
+__all__ = ["RLTrainingLog", "train_agent", "NaNLossError", "CHECKPOINT_NAME"]
 
 #: Optional hook rewriting actions before execution (DRL-SC safety check).
 ActionFilter = Callable[[DrivingEnv, ParameterizedAction], ParameterizedAction]
+
+#: File name of the rolling training checkpoint inside ``checkpoint_dir``.
+CHECKPOINT_NAME = "train.ckpt.npz"
+
+
+class NaNLossError(RuntimeError):
+    """Training diverged to NaN/inf and no checkpoint was left to roll back to."""
 
 
 @dataclass
@@ -31,6 +50,8 @@ class RLTrainingLog:
     episode_steps: list[int] = field(default_factory=list)
     collisions: int = 0
     wall_time: float = 0.0
+    nan_rollbacks: int = 0
+    resumed_episodes: int = 0
 
     @property
     def episodes(self) -> int:
@@ -41,10 +62,38 @@ class RLTrainingLog:
         return sum(recent) / max(len(recent), 1)
 
 
+def _checkpoint_extra(log: RLTrainingLog, next_episode: int,
+                      wall_time: float) -> dict:
+    return {
+        "next_episode": next_episode,
+        "episode_rewards": list(log.episode_rewards),
+        "episode_steps": list(log.episode_steps),
+        "collisions": log.collisions,
+        "wall_time": wall_time,
+    }
+
+
+def _restore(path: Path, agent: PamdpAgent, log: RLTrainingLog) -> tuple[int, float]:
+    """Load a checkpoint into agent and log; returns (next_episode, wall)."""
+    extra = load_checkpoint(path, agent)
+    log.episode_rewards[:] = [float(r) for r in extra["episode_rewards"]]
+    log.episode_steps[:] = [int(s) for s in extra["episode_steps"]]
+    log.collisions = int(extra["collisions"])
+    return int(extra["next_episode"]), float(extra["wall_time"])
+
+
+def _finite(losses: dict[str, float] | None) -> bool:
+    return losses is None or all(np.isfinite(v) for v in losses.values())
+
+
 def train_agent(agent: PamdpAgent, env: DrivingEnv, episodes: int,
                 seed_offset: int = 0, learn_every: int = 1,
                 action_filter: ActionFilter | None = None,
-                max_episode_steps: int | None = None) -> RLTrainingLog:
+                max_episode_steps: int | None = None,
+                checkpoint_dir: str | Path | None = None,
+                checkpoint_every: int = 0,
+                resume: bool = True,
+                max_nan_rollbacks: int = 3) -> RLTrainingLog:
     """Train ``agent`` for ``episodes`` seeded episodes.
 
     Parameters
@@ -59,34 +108,88 @@ def train_agent(agent: PamdpAgent, env: DrivingEnv, episodes: int,
         stored transition (the executed action is what gets credited).
     max_episode_steps:
         Optional override of the environment's episode cap.
+    checkpoint_dir / checkpoint_every:
+        When both are set, write an atomic checkpoint of the full
+        training state every ``checkpoint_every`` episodes.
+    resume:
+        Continue from an existing checkpoint in ``checkpoint_dir`` (a
+        killed run picks up where its last checkpoint left off and
+        reproduces the uninterrupted run's episode rewards exactly).
+    max_nan_rollbacks:
+        A non-finite loss or reward restores the last good checkpoint
+        (with a deterministic RNG perturbation so the run does not
+        replay into the same divergence) at most this many times before
+        :class:`NaNLossError` is raised.
     """
     log = RLTrainingLog()
+    ckpt_path: Path | None = None
+    if checkpoint_dir is not None:
+        ckpt_path = Path(checkpoint_dir) / CHECKPOINT_NAME
+    episode = 0
+    base_wall = 0.0
+    if ckpt_path is not None and resume and ckpt_path.exists():
+        episode, base_wall = _restore(ckpt_path, agent, log)
+        log.resumed_episodes = episode
     start = time.perf_counter()
-    for episode in range(episodes):
-        state = env.reset(seed_offset + episode)
-        episode_reward = 0.0
-        steps = 0
-        cap = max_episode_steps or env.max_steps
-        while steps < cap:
-            action = agent.act(state, explore=True)
-            if action_filter is not None:
-                action = action_filter(env, action)
-            next_state, breakdown, done, _ = env.step(action)
-            aux = agent.last_aux() if hasattr(agent, "last_aux") else None
-            agent.observe(Transition(
-                state=state, behavior=int(action.behavior), accel=action.accel,
-                reward=breakdown.total, next_state=next_state, done=done, aux=aux,
-            ))
-            if agent.total_steps % learn_every == 0:
-                agent.learn()
-            episode_reward += breakdown.total
-            steps += 1
-            if done or next_state is None:
-                break
-            state = next_state
-        log.episode_rewards.append(episode_reward / max(steps, 1))
-        log.episode_steps.append(steps)
-        if env.result.collided:
-            log.collisions += 1
-    log.wall_time = time.perf_counter() - start
+
+    while episode < episodes:
+        diverged = _run_training_episode(agent, env, seed_offset + episode,
+                                         learn_every, action_filter,
+                                         max_episode_steps, log)
+        if diverged:
+            log.nan_rollbacks += 1
+            if (ckpt_path is None or not ckpt_path.exists()
+                    or log.nan_rollbacks > max_nan_rollbacks):
+                raise NaNLossError(
+                    f"non-finite loss/reward in episode {episode} "
+                    f"(rollbacks used: {log.nan_rollbacks - 1})")
+            episode, base_wall = _restore(ckpt_path, agent, log)
+            # deterministic jitter: without it the restored state replays
+            # the exact trajectory back into the same divergence
+            agent.rng.random(log.nan_rollbacks)
+            continue
+        episode += 1
+        if (ckpt_path is not None and checkpoint_every > 0
+                and episode % checkpoint_every == 0):
+            wall = base_wall + (time.perf_counter() - start)
+            save_checkpoint(ckpt_path, agent,
+                            extra=_checkpoint_extra(log, episode, wall))
+    log.wall_time = base_wall + (time.perf_counter() - start)
     return log
+
+
+def _run_training_episode(agent: PamdpAgent, env: DrivingEnv, seed: int,
+                          learn_every: int, action_filter: ActionFilter | None,
+                          max_episode_steps: int | None,
+                          log: RLTrainingLog) -> bool:
+    """Run one episode, appending to ``log``; True when training diverged."""
+    state = env.reset(seed)
+    episode_reward = 0.0
+    steps = 0
+    cap = max_episode_steps or env.max_steps
+    while steps < cap:
+        action = agent.act(state, explore=True)
+        if action_filter is not None:
+            action = action_filter(env, action)
+        next_state, breakdown, done, _ = env.step(action)
+        aux = agent.last_aux() if hasattr(agent, "last_aux") else None
+        agent.observe(Transition(
+            state=state, behavior=int(action.behavior), accel=action.accel,
+            reward=breakdown.total, next_state=next_state, done=done, aux=aux,
+        ))
+        if not np.isfinite(breakdown.total):
+            return True
+        if agent.total_steps % learn_every == 0:
+            losses = agent.learn()
+            if not _finite(losses):
+                return True
+        episode_reward += breakdown.total
+        steps += 1
+        if done or next_state is None:
+            break
+        state = next_state
+    log.episode_rewards.append(episode_reward / max(steps, 1))
+    log.episode_steps.append(steps)
+    if env.result.collided:
+        log.collisions += 1
+    return False

@@ -6,6 +6,8 @@ from .episodes import (run_episode, evaluate_controller,
                        reward_statistics)
 from .tables import render_table, render_metric_table, PAPER_COLUMNS
 from .significance import ConfidenceInterval, bootstrap_mean, bootstrap_difference
+from .degradation import (FaultyHarness, DegradationPoint, DegradationReport,
+                          build_faulty_env, degradation_sweep)
 
 __all__ = [
     "EvaluationReport", "aggregate",
@@ -13,4 +15,6 @@ __all__ = [
     "RewardStats", "reward_statistics",
     "render_table", "render_metric_table", "PAPER_COLUMNS",
     "ConfidenceInterval", "bootstrap_mean", "bootstrap_difference",
+    "FaultyHarness", "DegradationPoint", "DegradationReport",
+    "build_faulty_env", "degradation_sweep",
 ]

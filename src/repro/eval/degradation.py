@@ -1,0 +1,181 @@
+"""Degradation sweeps: robustness as a measured quantity.
+
+Runs the same seeded evaluation episodes under a family of
+:class:`~repro.faults.schedule.FaultSchedule` intensities and reports
+how the paper's safety/efficiency/impact metrics move with the fault
+rate -- the robustness analogue of ``BENCH_sim.json``.  At intensity
+0.0 the sweep is bit-identical to a plain
+:func:`~repro.eval.episodes.evaluate_controller` run, which anchors the
+curve and doubles as a regression guard on the injection machinery.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..decision.environment import DrivingEnv
+from ..decision.policies import Controller
+from ..decision.safety import SafetyFallbackPolicy
+from ..faults.guard import PerceptionGuard
+from ..faults.injector import FaultInjector, FaultLog, FaultySensor
+from ..faults.schedule import FaultSchedule
+from ..perception.module import EnhancedPerception
+from ..perception.sensor import Sensor
+from .episodes import run_episode
+from .metrics import EvaluationReport, aggregate
+
+__all__ = ["FaultyHarness", "DegradationPoint", "DegradationReport",
+           "build_faulty_env", "degradation_sweep"]
+
+
+@dataclass
+class FaultyHarness:
+    """A driving environment with its fault injector and guard exposed."""
+
+    env: DrivingEnv
+    injector: FaultInjector
+    guard: PerceptionGuard | None
+
+
+def build_faulty_env(head, schedule: FaultSchedule,
+                     max_steps: int | None = None) -> FaultyHarness:
+    """A fresh fault-injected environment for a HEAD-like object.
+
+    ``head`` needs ``config``, ``predictor``, ``reward`` and ``road()``
+    (duck-typed to avoid importing :mod:`repro.core` from the eval
+    layer).  Perception is rebuilt -- not shared with ``head`` -- so
+    nominal evaluation state is never polluted by fault realizations.
+    """
+    cfg = head.config
+    injector = FaultInjector(schedule)
+    sensor = FaultySensor(Sensor(detection_range=cfg.sensor_range), injector)
+    guard = PerceptionGuard(head.predictor) if head.predictor is not None else None
+    perception = EnhancedPerception(
+        predictor=guard if guard is not None else None,
+        sensor=sensor,
+        history_steps=cfg.history_steps,
+        use_phantoms=cfg.use_phantoms,
+    )
+    env = DrivingEnv(perception, reward=head.reward, road=head.road(),
+                     density_per_km=cfg.density_per_km,
+                     max_steps=max_steps or cfg.max_episode_steps,
+                     faults=injector)
+    return FaultyHarness(env=env, injector=injector, guard=guard)
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """Metrics of one fault intensity."""
+
+    intensity: float
+    report: EvaluationReport
+    fault_events: dict[str, int]
+    guard_frames: int
+    guard_degraded_frames: int
+    guard_degraded_targets: int
+    fallback_overrides: int
+
+    def as_dict(self) -> dict:
+        return {
+            "intensity": self.intensity,
+            "collisions": self.report.collisions,
+            "episodes": self.report.episodes,
+            "avg_v_a": self.report.avg_v_a,
+            "min_ttc_a": self.report.min_ttc_a,
+            "avg_j_a": self.report.avg_j_a,
+            "avg_count_ca": self.report.avg_count_ca,
+            "avg_d_ca": self.report.avg_d_ca,
+            "fault_events": dict(self.fault_events),
+            "guard_frames": self.guard_frames,
+            "guard_degraded_frames": self.guard_degraded_frames,
+            "guard_degraded_targets": self.guard_degraded_targets,
+            "fallback_overrides": self.fallback_overrides,
+        }
+
+
+@dataclass
+class DegradationReport:
+    """The full sweep: one :class:`DegradationPoint` per intensity."""
+
+    points: list[DegradationPoint]
+
+    def as_dict(self) -> dict:
+        return {"points": [point.as_dict() for point in self.points]}
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        return path
+
+    def render(self) -> str:
+        """Plain-text table of the sweep (one row per intensity)."""
+        header = (f"{'intensity':>9}  {'collisions':>10}  {'AvgV-A':>7}  "
+                  f"{'MinTTC-A':>8}  {'faults':>7}  {'degraded':>8}  "
+                  f"{'overrides':>9}")
+        rows = [header, "-" * len(header)]
+        for point in self.points:
+            faults = sum(point.fault_events.values())
+            rows.append(
+                f"{point.intensity:>9.2f}  "
+                f"{point.report.collisions:>6}/{point.report.episodes:<3}  "
+                f"{point.report.avg_v_a:>7.2f}  {point.report.min_ttc_a:>8.2f}  "
+                f"{faults:>7}  {point.guard_degraded_frames:>8}  "
+                f"{point.fallback_overrides:>9}")
+        return "\n".join(rows)
+
+
+def degradation_sweep(head, intensities: list[float], seeds: list[int] | range,
+                      max_steps: int | None = None, use_fallback: bool = True,
+                      fault_seed: int = 0) -> DegradationReport:
+    """Evaluate ``head`` under each fault intensity over the same seeds.
+
+    Every intensity gets a fresh environment and injector (schedules
+    derived via :meth:`FaultSchedule.scaled` from ``fault_seed``), and
+    optionally a :class:`SafetyFallbackPolicy` around the controller.
+    Raises if any episode produces a non-finite observation or action
+    -- the graceful-degradation contract is that faults degrade
+    metrics, never numerics.
+    """
+    seeds = list(seeds)
+    points: list[DegradationPoint] = []
+    for intensity in intensities:
+        schedule = FaultSchedule.scaled(intensity, seed=fault_seed)
+        harness = build_faulty_env(head, schedule, max_steps=max_steps)
+        controller: Controller = head.controller()
+        fallback: SafetyFallbackPolicy | None = None
+        if use_fallback:
+            fallback = SafetyFallbackPolicy(controller, guard=harness.guard)
+            controller = fallback
+        fault_events = FaultLog()
+        results = []
+        for seed in seeds:
+            results.append(run_episode(controller, harness.env, seed,
+                                       max_steps=max_steps))
+            _assert_finite_episode(results[-1], intensity, seed)
+            fault_events.merge(harness.env.faults.log)
+        stats = harness.guard.stats if harness.guard is not None else None
+        points.append(DegradationPoint(
+            intensity=float(intensity),
+            report=aggregate(results, harness.env.road.length),
+            fault_events=fault_events.as_dict(),
+            guard_frames=stats.frames if stats else 0,
+            guard_degraded_frames=stats.degraded_frames if stats else 0,
+            guard_degraded_targets=stats.degraded_targets if stats else 0,
+            fallback_overrides=fallback.overrides if fallback else 0,
+        ))
+    return DegradationReport(points=points)
+
+
+def _assert_finite_episode(result, intensity: float, seed: int) -> None:
+    for record in result.records:
+        values = [record.av_velocity, record.av_accel, record.av_jerk,
+                  record.reward.total]
+        if not np.isfinite(values).all():
+            raise AssertionError(
+                f"non-finite step record at intensity {intensity}, "
+                f"seed {seed}: {record}")

@@ -1,0 +1,33 @@
+"""Fault injection and graceful degradation for the HEAD pipeline.
+
+The paper's central claim is that HEAD keeps driving safely when
+perception is *structurally* degraded (occlusion, sensor range, road
+boundaries).  This package extends that to *operational* degradation:
+
+* :mod:`repro.faults.schedule` -- :class:`FaultSchedule`, a declarative,
+  seedable description of sensor and actuator fault processes;
+* :mod:`repro.faults.injector` -- :class:`FaultInjector` and
+  :class:`FaultySensor`, applying the schedule at the
+  ``Sensor.observe`` / actuator boundary;
+* :mod:`repro.faults.guard` -- :class:`PerceptionGuard`, a NaN/envelope
+  guard around any state predictor with the paper's own fallback
+  ordering (constant velocity, then phantom-style zeros);
+* :mod:`repro.faults.checkpoint` -- atomic training checkpoints
+  (agent + optimizers + replay buffer + RNG) for crash-safe RL runs.
+
+All fault randomness is drawn from a dedicated RNG stream, so a
+schedule with every rate at zero is bit-identical to no injection.
+"""
+
+from .schedule import FaultSchedule
+from .injector import FaultInjector, FaultLog, FaultySensor
+from .guard import GuardStats, PerceptionGuard
+from .checkpoint import (CheckpointError, latest_checkpoint, load_checkpoint,
+                         save_checkpoint)
+
+__all__ = [
+    "FaultSchedule",
+    "FaultInjector", "FaultLog", "FaultySensor",
+    "GuardStats", "PerceptionGuard",
+    "CheckpointError", "latest_checkpoint", "load_checkpoint", "save_checkpoint",
+]

@@ -1,0 +1,120 @@
+"""Runtime guard around state predictors: never emit NaN, inf, or nonsense.
+
+LST-GAT (or any compared predictor) can diverge -- exploding weights,
+a corrupted checkpoint, or degenerate inputs under heavy sensor faults
+can produce NaN/inf or physically impossible predictions.  Down-stream,
+one bad row silently poisons the augmented state, the replay buffer and
+eventually the Q-networks.  :class:`PerceptionGuard` wraps the
+predictor and enforces, per target, the paper's own fallback ordering:
+
+1. the network prediction, when finite and inside the physical envelope;
+2. the constant-velocity kinematic baseline (what the paper's phantom
+   construction assumes for unobserved vehicles);
+3. zeros (the phantom-style padding state) if even the baseline is
+   corrupt, which can only happen when the graph itself carries
+   non-finite features.
+
+The guard is bit-transparent for healthy predictions: rows that pass
+validation are returned exactly as the predictor produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..perception.graph import OUTPUT_SCALE, SpatialTemporalGraph
+from ..perception.predictor import StatePredictor
+from ..sim import constants
+
+__all__ = ["GuardStats", "PerceptionGuard"]
+
+
+@dataclass
+class GuardStats:
+    """Degradation bookkeeping accumulated across :meth:`predict` calls."""
+
+    frames: int = 0
+    degraded_frames: int = 0
+    degraded_targets: int = 0
+
+    def degraded_fraction(self) -> float:
+        return self.degraded_frames / max(self.frames, 1)
+
+    def as_dict(self) -> dict[str, int]:
+        return {"frames": self.frames, "degraded_frames": self.degraded_frames,
+                "degraded_targets": self.degraded_targets}
+
+
+class PerceptionGuard:
+    """Fallback wrapper implementing the ``StatePredictor.predict`` duck type.
+
+    Parameters
+    ----------
+    predictor:
+        The wrapped predictor (anything with ``predict(graph)``).
+    d_lat_max / d_lon_max / v_rel_max:
+        Physical envelope on the predicted relative state, in meters /
+        meters / m-per-s.  Defaults are generous multiples of the road
+        geometry and sensor range so a healthy (even untrained) network
+        never trips them.
+    """
+
+    def __init__(self, predictor,
+                 d_lat_max: float = (constants.NUM_LANES + 2) * constants.LANE_WIDTH,
+                 d_lon_max: float = 2.0 * constants.SENSOR_RANGE,
+                 v_rel_max: float = 2.0 * constants.V_MAX) -> None:
+        if predictor is None:
+            raise ValueError("PerceptionGuard needs a predictor to wrap")
+        self.predictor = predictor
+        self.envelope = np.array([d_lat_max, d_lon_max, v_rel_max])
+        self.stats = GuardStats()
+        self.last_degraded = 0
+        self.last_confidence = 1.0
+
+    # ------------------------------------------------------------------
+    # StatePredictor duck type
+    # ------------------------------------------------------------------
+    def predict(self, graph: SpatialTemporalGraph) -> np.ndarray:
+        """Validated one-step prediction in physical units, always finite."""
+        try:
+            raw = np.asarray(self.predictor.predict(graph), dtype=np.float64)
+        except FloatingPointError:
+            raw = np.full((graph.target_features.shape[1], 3), np.nan)
+        bad = self._invalid_rows(raw)
+        self.stats.frames += 1
+        self.last_degraded = int(bad.sum())
+        self.last_confidence = 1.0 - self.last_degraded / max(len(bad), 1)
+        if not bad.any():
+            return raw
+        self.stats.degraded_frames += 1
+        self.stats.degraded_targets += self.last_degraded
+        fallback = self._fallback(graph)
+        result = raw.copy()
+        result[bad] = fallback[bad]
+        return result
+
+    def reset_stats(self) -> None:
+        self.stats = GuardStats()
+        self.last_degraded = 0
+        self.last_confidence = 1.0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _invalid_rows(self, prediction: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows that are non-finite or out of envelope."""
+        if prediction.ndim != 2 or prediction.shape[1] != 3:
+            raise ValueError(f"prediction must be (n, 3), got {prediction.shape}")
+        finite = np.isfinite(prediction).all(axis=1)
+        inside = np.zeros(len(prediction), dtype=bool)
+        inside[finite] = (np.abs(prediction[finite]) <= self.envelope).all(axis=1)
+        return ~inside
+
+    def _fallback(self, graph: SpatialTemporalGraph) -> np.ndarray:
+        """Constant-velocity baseline, zeros where the graph itself is bad."""
+        with np.errstate(all="ignore"):
+            baseline = StatePredictor.kinematic_baseline(graph) * OUTPUT_SCALE
+        baseline = np.where(np.isfinite(baseline), baseline, 0.0)
+        return np.clip(baseline, -self.envelope, self.envelope)

@@ -1,0 +1,112 @@
+"""Declarative fault schedules: which faults occur, how often, how hard.
+
+A :class:`FaultSchedule` is a frozen value object; the stateful
+realization (which vehicle drops out at which step) lives in
+:class:`~repro.faults.injector.FaultInjector`, driven by a dedicated
+RNG stream derived from ``seed`` and the episode seed.  Rates are
+per-vehicle per-decision-step event probabilities; an event latches for
+its configured duration (a dropout *burst*, a freeze *duration*), which
+matches how real sensor faults manifest -- a flaky channel stays flaky
+for a stretch, not for isolated single frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+__all__ = ["FaultSchedule"]
+
+#: Event probabilities at intensity 1.0 (see :meth:`FaultSchedule.scaled`).
+_BASE_RATES = {
+    "dropout_rate": 0.06,
+    "freeze_rate": 0.04,
+    "noise_rate": 0.08,
+    "latency_rate": 0.04,
+    "actuator_delay_rate": 0.04,
+    "actuator_clamp_rate": 0.02,
+}
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Composable description of every supported fault process.
+
+    Sensor-side faults (applied per observed vehicle, per step):
+
+    * **dropout** -- the detection disappears for ``dropout_burst``
+      consecutive steps (the track goes stale, then phantoms take over);
+    * **freeze** -- the track keeps reporting its last delivered state
+      for ``freeze_duration`` steps (a stuck tracker);
+    * **noise spike** -- one measurement is perturbed by zero-mean
+      Gaussian noise of ``noise_position`` / ``noise_velocity`` sigma,
+      clamped into the physical envelope;
+    * **latency** -- the delivered measurement is ``latency_steps``
+      decision steps old.
+
+    Actuator-side faults (applied to the AV command):
+
+    * **delay** -- the previously commanded acceleration is executed
+      instead of the fresh one;
+    * **clamp** -- the acceleration magnitude saturates at
+      ``actuator_clamp_limit`` (a weakened actuator).
+    """
+
+    dropout_rate: float = 0.0
+    dropout_burst: int = 3
+    freeze_rate: float = 0.0
+    freeze_duration: int = 3
+    noise_rate: float = 0.0
+    noise_position: float = 5.0
+    noise_velocity: float = 3.0
+    latency_rate: float = 0.0
+    latency_steps: int = 1
+    actuator_delay_rate: float = 0.0
+    actuator_clamp_rate: float = 0.0
+    actuator_clamp_limit: float = 1.0
+    seed: int = 0
+
+    _RATE_FIELDS = tuple(_BASE_RATES)
+
+    def __post_init__(self) -> None:
+        for name in self._RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {rate}")
+        for name in ("dropout_burst", "freeze_duration", "latency_steps"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+        for name in ("noise_position", "noise_velocity", "actuator_clamp_limit"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def is_zero(self) -> bool:
+        """True when no fault can ever fire under this schedule."""
+        return all(getattr(self, name) == 0.0 for name in self._RATE_FIELDS)
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "FaultSchedule":
+        """The all-zero schedule: injection becomes the identity."""
+        return cls(seed=seed)
+
+    @classmethod
+    def scaled(cls, intensity: float, seed: int = 0, **overrides) -> "FaultSchedule":
+        """Every fault process at ``intensity`` times its base rate.
+
+        ``intensity`` 0.0 is :meth:`none`; 1.0 is a heavily degraded
+        sensor suite; values in between sweep the degradation curve
+        (see :mod:`repro.eval.degradation`).  Rates are capped at 1.
+        """
+        if intensity < 0.0:
+            raise ValueError("intensity must be non-negative")
+        rates = {name: min(base * intensity, 1.0)
+                 for name, base in _BASE_RATES.items()}
+        rates.update(overrides)
+        return cls(seed=seed, **rates)
+
+    def with_seed(self, seed: int) -> "FaultSchedule":
+        """The same fault process with a different RNG stream."""
+        return replace(self, seed=seed)
+
+    def describe(self) -> dict[str, float | int]:
+        """Plain-dict view (for JSON reports and logging)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}

@@ -17,10 +17,30 @@ from ..sim import constants
 from ..sim.road import Road
 from ..sim.vehicle import VehicleState
 
-__all__ = ["Sensor", "segment_intersects_rectangle"]
+__all__ = ["Sensor", "segment_intersects_rectangle", "clamp_measurement"]
 
 #: Plan-view vehicle width (m) used for occlusion shadows.
 VEHICLE_WIDTH = 2.0
+
+
+def clamp_measurement(state: VehicleState, road: Road,
+                      max_speed: float = constants.V_MAX) -> VehicleState:
+    """Clamp a (possibly noisy) measurement into the physical envelope.
+
+    Measurement noise must never report a state the simulator itself
+    forbids: speeds are non-negative and bounded by the road's physical
+    maximum, longitudinal positions stay within one vehicle length of
+    the road segment, and lanes stay within the road (the boundary
+    lanes 0 and ``num_lanes + 1`` are admitted because phantom
+    construction legitimately places moving-boundary vehicles there).
+    """
+    lat = min(max(state.lat, 0), road.num_lanes + 1)
+    lon = min(max(state.lon, -constants.VEHICLE_LENGTH),
+              road.length + constants.VEHICLE_LENGTH)
+    v = min(max(state.v, 0.0), max_speed)
+    if lat == state.lat and lon == state.lon and v == state.v:
+        return state
+    return VehicleState(lat=lat, lon=lon, v=v)
 
 
 def _lateral_meters(state: VehicleState, road: Road) -> float:
@@ -130,15 +150,16 @@ class Sensor:
         observed: dict[str, VehicleState] = {}
         for vid, state in candidates.items():
             if not self.is_occluded(ego, state, candidates, road, target_id=vid):
-                observed[vid] = self._measure(state)
+                observed[vid] = self._measure(state, road)
         return observed
 
-    def _measure(self, state: VehicleState) -> VehicleState:
-        """Apply measurement noise to a detected state."""
+    def _measure(self, state: VehicleState, road: Road) -> VehicleState:
+        """Apply measurement noise to a detected state, envelope-clamped."""
         if self.position_noise == 0.0 and self.velocity_noise == 0.0:
             return state
-        return VehicleState(
+        noisy = VehicleState(
             lat=state.lat,
             lon=state.lon + float(self._noise_rng.normal(0.0, self.position_noise)),
-            v=max(state.v + float(self._noise_rng.normal(0.0, self.velocity_noise)), 0.0),
+            v=state.v + float(self._noise_rng.normal(0.0, self.velocity_noise)),
         )
+        return clamp_measurement(noisy, road)

@@ -15,10 +15,19 @@ __all__ = ["TraCI"]
 
 
 class _VehicleDomain:
-    """``traci.vehicle``-style accessor bound to an engine."""
+    """``traci.vehicle``-style accessor bound to an engine.
 
-    def __init__(self, engine: SimulationEngine) -> None:
+    ``faults`` / ``fault_vid`` optionally route :meth:`setManeuver`
+    accelerations through a :class:`~repro.faults.injector.FaultInjector`
+    (actuator delay/clamp faults), for the given vehicle id or for all
+    vehicles when ``fault_vid`` is None.
+    """
+
+    def __init__(self, engine: SimulationEngine, faults=None,
+                 fault_vid: str | None = None) -> None:
         self._engine = engine
+        self._faults = faults
+        self._fault_vid = fault_vid
 
     def getIDList(self) -> list[str]:
         """Ids of all vehicles currently in the simulation."""
@@ -58,6 +67,9 @@ class _VehicleDomain:
 
     def setManeuver(self, vid: str, lane_delta: int, accel: float) -> None:
         """Command a parameterized maneuver for the next step."""
+        if self._faults is not None and (self._fault_vid is None
+                                         or vid == self._fault_vid):
+            accel = self._faults.filter_accel(accel)
         self._engine.set_maneuver(vid, lane_delta, accel)
 
     def remove(self, vid: str) -> None:
@@ -86,11 +98,19 @@ class _SimulationDomain:
 
 
 class TraCI:
-    """Top-level facade: ``traci.vehicle``, ``traci.simulation``, stepping."""
+    """Top-level facade: ``traci.vehicle``, ``traci.simulation``, stepping.
 
-    def __init__(self, engine: SimulationEngine) -> None:
+    Pass ``faults`` (a :class:`~repro.faults.injector.FaultInjector`) to
+    degrade the actuator path of ``fault_vid`` -- or of every vehicle
+    when ``fault_vid`` is None -- mirroring how a real TraCI coupling
+    would sit between the decision stack and the simulated plant.
+    """
+
+    def __init__(self, engine: SimulationEngine, faults=None,
+                 fault_vid: str | None = None) -> None:
         self.engine = engine
-        self.vehicle = _VehicleDomain(engine)
+        self.faults = faults
+        self.vehicle = _VehicleDomain(engine, faults=faults, fault_vid=fault_vid)
         self.simulation = _SimulationDomain(engine)
 
     def simulationStep(self) -> list[CollisionEvent]:

@@ -1,0 +1,107 @@
+"""Tests for the fault-intensity degradation sweep."""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import HEAD, HEADConfig
+from repro.decision import IDMLCPolicy
+from repro.decision.environment import DrivingEnv
+from repro.eval import (build_faulty_env, degradation_sweep,
+                        evaluate_controller, run_episode)
+from repro.faults import FaultInjector, FaultSchedule, FaultySensor
+from repro.perception import EnhancedPerception, Sensor
+
+MAX_STEPS = 15
+SEEDS = [900, 901]
+
+
+def make_head(use_prediction=False, seed=0):
+    cfg = replace(HEADConfig().scaled(max_episode_steps=MAX_STEPS),
+                  use_prediction=use_prediction)
+    return HEAD(cfg, rng=np.random.default_rng(seed))
+
+
+# ----------------------------------------------------------------------
+# zero-schedule golden-trace equivalence
+# ----------------------------------------------------------------------
+def test_zero_schedule_env_trace_is_bit_identical():
+    head = make_head()
+
+    plain = run_episode(IDMLCPolicy(), head.make_env(), seed=904,
+                        max_steps=MAX_STEPS)
+
+    injector = FaultInjector(FaultSchedule.none())
+    perception = EnhancedPerception(
+        predictor=None,
+        sensor=FaultySensor(Sensor(detection_range=head.config.sensor_range),
+                            injector),
+        history_steps=head.config.history_steps,
+        use_phantoms=head.config.use_phantoms)
+    faulty_env = DrivingEnv(perception, reward=head.reward, road=head.road(),
+                            density_per_km=head.config.density_per_km,
+                            max_steps=MAX_STEPS, faults=injector)
+    wired = run_episode(IDMLCPolicy(), faulty_env, seed=904,
+                        max_steps=MAX_STEPS)
+
+    assert wired.records == plain.records
+    assert wired.collided == plain.collided
+    assert wired.finished == plain.finished
+    assert injector.log.total() == 0
+
+
+def test_zero_intensity_sweep_matches_plain_evaluation():
+    head = make_head()
+    report = degradation_sweep(head, [0.0], SEEDS, max_steps=MAX_STEPS)
+    plain = evaluate_controller(head.controller(),
+                                head.make_env(max_steps=MAX_STEPS), SEEDS)
+    point = report.points[0]
+    assert point.report.collisions == plain.collisions
+    assert point.report.avg_v_a == plain.avg_v_a
+    assert point.report.min_ttc_a == plain.min_ttc_a
+    assert point.report.avg_j_a == plain.avg_j_a
+    assert sum(point.fault_events.values()) == 0
+    assert point.fallback_overrides == 0
+
+
+# ----------------------------------------------------------------------
+# faulty runs stay numerically sound
+# ----------------------------------------------------------------------
+def test_nonzero_intensity_injects_faults_and_stays_finite():
+    head = make_head(use_prediction=True)
+    report = degradation_sweep(head, [1.0], SEEDS, max_steps=MAX_STEPS)
+    point = report.points[0]
+    assert sum(point.fault_events.values()) > 0
+    assert point.report.episodes == len(SEEDS)
+    assert np.isfinite([point.report.avg_v_a, point.report.avg_j_a]).all()
+
+
+def test_sweep_is_deterministic():
+    head = make_head()
+    first = degradation_sweep(head, [0.5], SEEDS, max_steps=MAX_STEPS)
+    second = degradation_sweep(make_head(), [0.5], SEEDS, max_steps=MAX_STEPS)
+    assert first.points[0].as_dict() == second.points[0].as_dict()
+
+
+def test_build_faulty_env_isolates_runs():
+    head = make_head()
+    a = build_faulty_env(head, FaultSchedule.scaled(1.0), max_steps=MAX_STEPS)
+    b = build_faulty_env(head, FaultSchedule.scaled(1.0), max_steps=MAX_STEPS)
+    assert a.env is not b.env
+    assert a.injector is not b.injector
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def test_report_renders_and_round_trips_json(tmp_path):
+    head = make_head()
+    report = degradation_sweep(head, [0.0, 1.0], [900], max_steps=MAX_STEPS)
+    text = report.render()
+    assert "intensity" in text
+    assert len(text.splitlines()) == 4  # header, rule, two rows
+    path = report.save(tmp_path / "sweep.json")
+    loaded = json.loads(path.read_text())
+    assert loaded == report.as_dict()
+    assert len(loaded["points"]) == 2

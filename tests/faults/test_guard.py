@@ -1,0 +1,123 @@
+"""Tests for the PerceptionGuard fallback wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import PerceptionGuard
+from repro.perception.graph import OUTPUT_SCALE, SpatialTemporalGraph
+from repro.perception.predictor import StatePredictor
+
+N_TARGETS = 6
+
+
+def make_graph(z=3, n=N_TARGETS, seed=0):
+    rng = np.random.default_rng(seed)
+    target = rng.normal(0.0, 0.1, (z, n, 4))
+    contributors = rng.normal(0.0, 0.1, (z, n, 7, 4))
+    mask = np.ones(n)
+    ego = np.tile(np.array([0.5, 0.5, 0.6, 0.0]), (z, n, 1))
+    return SpatialTemporalGraph(target, contributors, mask, ego)
+
+
+class FakePredictor:
+    """Returns a preset array (or raises) from ``predict``."""
+
+    def __init__(self, output):
+        self.output = output
+
+    def predict(self, graph):
+        if isinstance(self.output, Exception):
+            raise self.output
+        return self.output
+
+
+def baseline(graph):
+    return StatePredictor.kinematic_baseline(graph) * OUTPUT_SCALE
+
+
+def test_guard_requires_a_predictor():
+    with pytest.raises(ValueError):
+        PerceptionGuard(None)
+
+
+def test_healthy_prediction_passes_through_bit_identically():
+    graph = make_graph()
+    healthy = np.full((N_TARGETS, 3), 1.5)
+    guard = PerceptionGuard(FakePredictor(healthy))
+    out = guard.predict(graph)
+    assert np.array_equal(out, healthy)
+    assert guard.stats.degraded_frames == 0
+    assert guard.last_confidence == 1.0
+
+
+def test_nan_rows_fall_back_to_the_kinematic_baseline():
+    graph = make_graph()
+    bad = np.full((N_TARGETS, 3), 1.0)
+    bad[2, 1] = np.nan
+    bad[4, 0] = np.inf
+    guard = PerceptionGuard(FakePredictor(bad))
+    out = guard.predict(graph)
+    expected = baseline(graph)
+    assert np.isfinite(out).all()
+    assert np.allclose(out[2], expected[2])
+    assert np.allclose(out[4], expected[4])
+    assert np.array_equal(out[0], bad[0])  # healthy rows untouched
+    assert guard.stats.degraded_targets == 2
+    assert guard.last_degraded == 2
+    assert guard.last_confidence == pytest.approx(1.0 - 2 / N_TARGETS)
+
+
+def test_out_of_envelope_rows_are_replaced():
+    graph = make_graph()
+    bad = np.zeros((N_TARGETS, 3))
+    bad[1] = [0.0, 1e6, 0.0]  # a kilometer-scale jump is not physical
+    guard = PerceptionGuard(FakePredictor(bad))
+    out = guard.predict(graph)
+    assert np.allclose(out[1], baseline(graph)[1])
+    assert (np.abs(out) <= guard.envelope + 1e-12).all()
+
+
+def test_floating_point_error_degrades_every_target():
+    graph = make_graph()
+    guard = PerceptionGuard(FakePredictor(FloatingPointError("overflow")))
+    out = guard.predict(graph)
+    assert out.shape == (N_TARGETS, 3)
+    assert np.isfinite(out).all()
+    assert guard.stats.degraded_targets == N_TARGETS
+    assert guard.last_confidence == 0.0
+
+
+def test_guard_rejects_malformed_prediction_shape():
+    guard = PerceptionGuard(FakePredictor(np.zeros((N_TARGETS, 5))))
+    with pytest.raises(ValueError):
+        guard.predict(make_graph())
+
+
+def test_stats_accumulate_and_reset():
+    graph = make_graph()
+    bad = np.full((N_TARGETS, 3), np.nan)
+    guard = PerceptionGuard(FakePredictor(bad))
+    guard.predict(graph)
+    guard.predict(graph)
+    assert guard.stats.frames == 2
+    assert guard.stats.degraded_frames == 2
+    assert guard.stats.degraded_fraction() == 1.0
+    guard.reset_stats()
+    assert guard.stats.frames == 0
+    assert guard.last_confidence == 1.0
+
+
+@given(values=st.lists(
+    st.floats(allow_nan=True, allow_infinity=True, width=32),
+    min_size=N_TARGETS * 3, max_size=N_TARGETS * 3))
+@settings(max_examples=60, deadline=None)
+def test_guard_output_is_always_finite(values):
+    graph = make_graph()
+    raw = np.array(values, dtype=np.float64).reshape(N_TARGETS, 3)
+    guard = PerceptionGuard(FakePredictor(raw))
+    out = guard.predict(graph)
+    assert out.shape == (N_TARGETS, 3)
+    assert np.isfinite(out).all()
+    # replaced rows land inside the envelope; valid rows were inside it
+    assert (np.abs(out) <= guard.envelope + 1e-12).all()

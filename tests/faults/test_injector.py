@@ -1,0 +1,231 @@
+"""Tests for deterministic fault injection at the sensor/actuator boundary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultInjector, FaultSchedule, FaultySensor
+from repro.perception import Sensor
+from repro.sim import Road, VehicleState, constants
+
+
+@pytest.fixture
+def road():
+    return Road(length=1000.0)
+
+
+def world():
+    return {
+        "ego": VehicleState(3, 500.0, 15.0),
+        "a": VehicleState(3, 530.0, 12.0),
+        "b": VehicleState(2, 520.0, 18.0),
+        "c": VehicleState(4, 480.0, 20.0),
+    }
+
+
+def advance(states, dt=constants.DT):
+    return {vid: VehicleState(s.lat, s.lon + s.v * dt, s.v)
+            for vid, s in states.items()}
+
+
+# ----------------------------------------------------------------------
+# zero-schedule bit-identity
+# ----------------------------------------------------------------------
+@given(seed=st.integers(0, 10_000),
+       lons=st.lists(st.floats(0.0, 900.0), min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_zero_schedule_is_the_identity(seed, lons):
+    injector = FaultInjector(FaultSchedule.none(seed=seed))
+    injector.reset(seed)
+    road = Road(length=1000.0)
+    observed = {f"v{i}": VehicleState(3, lon, 10.0)
+                for i, lon in enumerate(lons)}
+    filtered = injector.filter_observation(observed, road)
+    assert filtered is observed  # the very same object, no copy, no draw
+    assert injector.log.total() == 0
+
+
+@given(accel=st.floats(-constants.A_MAX, constants.A_MAX),
+       seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_zero_schedule_passes_accel_through(accel, seed):
+    injector = FaultInjector(FaultSchedule.none(seed=seed))
+    injector.reset(seed)
+    assert injector.filter_accel(accel) == accel
+
+
+def test_zero_schedule_does_not_consume_randomness(road):
+    injector = FaultInjector(FaultSchedule.none())
+    injector.reset(3)
+    before = injector._rng.bit_generator.state
+    injector.filter_observation(world(), road)
+    injector.filter_accel(1.0)
+    assert injector._rng.bit_generator.state == before
+
+
+# ----------------------------------------------------------------------
+# sensor-side fault processes
+# ----------------------------------------------------------------------
+def test_dropout_removes_vehicles_for_a_burst(road):
+    injector = FaultInjector(FaultSchedule(dropout_rate=1.0, dropout_burst=3))
+    injector.reset(0)
+    states = world()
+    for _ in range(3):
+        assert injector.filter_observation(states, road) == {}
+        states = advance(states)
+    assert injector.log.dropped == 3 * len(states)
+
+
+def test_freeze_repeats_the_latched_state(road):
+    injector = FaultInjector(FaultSchedule(freeze_rate=1.0, freeze_duration=3))
+    injector.reset(0)
+    states = world()
+    first = injector.filter_observation(states, road)
+    assert first == states  # freeze latches the *delivered* (true) state
+    for _ in range(2):
+        states = advance(states)
+        frame = injector.filter_observation(states, road)
+        assert frame == first  # stale, even though the world moved
+    assert injector.log.frozen > 0
+
+
+def test_latency_delivers_the_previous_measurement(road):
+    injector = FaultInjector(FaultSchedule(latency_rate=1.0, latency_steps=1))
+    injector.reset(0)
+    states = world()
+    first = injector.filter_observation(states, road)
+    assert first == states  # no history yet on the first frame
+    moved = advance(states)
+    second = injector.filter_observation(moved, road)
+    assert second == states  # one step stale
+    assert injector.log.delayed == len(states)
+
+
+def test_noise_spike_stays_inside_the_physical_envelope(road):
+    schedule = FaultSchedule(noise_rate=1.0, noise_position=1e4,
+                             noise_velocity=1e4)
+    injector = FaultInjector(schedule)
+    injector.reset(1)
+    frame = injector.filter_observation(world(), road)
+    for state in frame.values():
+        assert -constants.VEHICLE_LENGTH <= state.lon
+        assert state.lon <= road.length + constants.VEHICLE_LENGTH
+        assert 0.0 <= state.v <= constants.V_MAX
+    assert injector.log.spiked == len(world())
+
+
+def test_track_state_cleared_when_vehicle_leaves_range(road):
+    injector = FaultInjector(FaultSchedule(freeze_rate=1.0, freeze_duration=5))
+    injector.reset(0)
+    injector.filter_observation(world(), road)
+    assert "a" in injector._tracks
+    injector.filter_observation({"b": VehicleState(2, 520.0, 18.0)}, road)
+    assert "a" not in injector._tracks
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+@given(episode_seed=st.integers(0, 5000))
+@settings(max_examples=20, deadline=None)
+def test_fault_stream_is_a_function_of_both_seeds(episode_seed):
+    road = Road(length=1000.0)
+    schedule = FaultSchedule.scaled(1.0, seed=11)
+
+    def run(injector):
+        injector.reset(episode_seed)
+        states, frames = world(), []
+        for _ in range(6):
+            frames.append(injector.filter_observation(states, road))
+            states = advance(states)
+        return frames
+
+    assert run(FaultInjector(schedule)) == run(FaultInjector(schedule))
+
+
+def test_different_episode_seeds_give_different_faults(road):
+    schedule = FaultSchedule.scaled(1.0, seed=11)
+    injector = FaultInjector(schedule)
+
+    def run(episode_seed):
+        injector.reset(episode_seed)
+        states, frames = world(), []
+        for _ in range(10):
+            frames.append(injector.filter_observation(states, road))
+            states = advance(states)
+        return frames
+
+    assert run(0) != run(1)
+
+
+def test_episode_reset_clears_log_and_latches(road):
+    injector = FaultInjector(FaultSchedule(dropout_rate=1.0, dropout_burst=50))
+    injector.reset(0)
+    injector.filter_observation(world(), road)
+    assert injector.log.dropped > 0
+    injector.reset(1)
+    assert injector.log.total() == 0
+    assert injector._tracks == {}
+
+
+# ----------------------------------------------------------------------
+# actuator-side fault processes
+# ----------------------------------------------------------------------
+def test_actuator_delay_replays_the_previous_command():
+    injector = FaultInjector(FaultSchedule(actuator_delay_rate=1.0))
+    injector.reset(0)
+    assert injector.filter_accel(2.0) == 2.0  # nothing to replay yet
+    assert injector.filter_accel(-3.0) == 2.0
+    assert injector.filter_accel(1.0) == -3.0
+    assert injector.log.actions_delayed == 2
+
+
+def test_actuator_clamp_limits_magnitude():
+    injector = FaultInjector(FaultSchedule(actuator_clamp_rate=1.0,
+                                           actuator_clamp_limit=1.0))
+    injector.reset(0)
+    assert injector.filter_accel(3.0) == 1.0
+    assert injector.filter_accel(-2.5) == -1.0
+    assert injector.filter_accel(0.5) == 0.5  # already inside the limit
+    assert injector.log.actions_clamped == 2
+
+
+def test_filter_action_preserves_behavior_and_identity():
+    from repro.decision import LaneBehavior, ParameterizedAction
+
+    injector = FaultInjector(FaultSchedule(actuator_clamp_rate=1.0,
+                                           actuator_clamp_limit=1.0))
+    injector.reset(0)
+    inside = ParameterizedAction(LaneBehavior.LEFT, 0.5)
+    assert injector.filter_action(inside) is inside
+    outside = ParameterizedAction(LaneBehavior.RIGHT, 3.0)
+    filtered = injector.filter_action(outside)
+    assert filtered.behavior is LaneBehavior.RIGHT
+    assert filtered.accel == 1.0
+
+
+# ----------------------------------------------------------------------
+# FaultySensor composition
+# ----------------------------------------------------------------------
+def test_faulty_sensor_delegates_attributes(road):
+    injector = FaultInjector(FaultSchedule.none())
+    sensor = FaultySensor(Sensor(detection_range=80.0), injector)
+    assert sensor.detection_range == 80.0
+
+
+def test_faulty_sensor_with_zero_schedule_matches_base(road):
+    injector = FaultInjector(FaultSchedule.none())
+    injector.reset(0)
+    base = Sensor()
+    sensor = FaultySensor(base, injector)
+    states = world()
+    assert (sensor.observe("ego", states["ego"], states, road)
+            == base.observe("ego", states["ego"], states, road))
+
+
+def test_faulty_sensor_applies_the_injector(road):
+    injector = FaultInjector(FaultSchedule(dropout_rate=1.0, dropout_burst=1))
+    injector.reset(0)
+    sensor = FaultySensor(Sensor(), injector)
+    states = world()
+    assert sensor.observe("ego", states["ego"], states, road) == {}

@@ -1,0 +1,70 @@
+"""Tests for the declarative fault schedule value object."""
+
+import pytest
+
+from repro.faults import FaultSchedule
+from repro.faults.schedule import _BASE_RATES
+
+
+def test_default_schedule_is_zero():
+    assert FaultSchedule().is_zero()
+    assert FaultSchedule.none(seed=7).is_zero()
+
+
+def test_nonzero_rate_is_not_zero():
+    assert not FaultSchedule(dropout_rate=0.1).is_zero()
+    assert not FaultSchedule(actuator_clamp_rate=0.01).is_zero()
+
+
+@pytest.mark.parametrize("field", sorted(_BASE_RATES))
+def test_rates_must_be_probabilities(field):
+    with pytest.raises(ValueError):
+        FaultSchedule(**{field: 1.5})
+    with pytest.raises(ValueError):
+        FaultSchedule(**{field: -0.1})
+
+
+@pytest.mark.parametrize("field", ["dropout_burst", "freeze_duration",
+                                   "latency_steps"])
+def test_durations_must_be_positive(field):
+    with pytest.raises(ValueError):
+        FaultSchedule(**{field: 0})
+
+
+def test_scaled_multiplies_base_rates():
+    schedule = FaultSchedule.scaled(0.5)
+    for name, base in _BASE_RATES.items():
+        assert getattr(schedule, name) == pytest.approx(base * 0.5)
+
+
+def test_scaled_zero_intensity_is_none():
+    assert FaultSchedule.scaled(0.0).is_zero()
+
+
+def test_scaled_caps_rates_at_one():
+    schedule = FaultSchedule.scaled(100.0)
+    for name in _BASE_RATES:
+        assert getattr(schedule, name) <= 1.0
+
+
+def test_scaled_rejects_negative_intensity():
+    with pytest.raises(ValueError):
+        FaultSchedule.scaled(-0.1)
+
+
+def test_scaled_accepts_overrides():
+    schedule = FaultSchedule.scaled(1.0, dropout_rate=0.9)
+    assert schedule.dropout_rate == 0.9
+    assert schedule.noise_rate == pytest.approx(_BASE_RATES["noise_rate"])
+
+
+def test_with_seed_changes_only_the_seed():
+    base = FaultSchedule.scaled(1.0, seed=0)
+    reseeded = base.with_seed(42)
+    assert reseeded.seed == 42
+    assert reseeded.dropout_rate == base.dropout_rate
+
+
+def test_describe_round_trips_through_constructor():
+    schedule = FaultSchedule.scaled(0.3, seed=5)
+    assert FaultSchedule(**schedule.describe()) == schedule
