@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Run reprolint exactly the way the CI gate does.
+#
+#   scripts/lint.sh                 lint src and tests, fail on findings
+#   scripts/lint.sh path/to/file.py lint specific files/directories
+#
+# See docs/static_analysis.md for the rule catalogue and suppression
+# syntax.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src exec python -m repro.cli lint --fail-on-findings "$@"

@@ -27,3 +27,13 @@ from .core import HEAD, HEADConfig
 
 __version__ = "1.0.0"
 __all__ = ["HEAD", "HEADConfig", "__version__"]
+
+# Opt-in runtime sanitizer: REPRO_SANITIZE=1 instruments the autograd
+# tape and the sim engine for every entry point (tests, CLI, scripts).
+# The guard keeps the default import free of the analysis machinery.
+import os as _os
+
+if _os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
+    from .analysis.sanitize import install as _install_sanitizer
+    _install_sanitizer()
+del _os

@@ -1,0 +1,236 @@
+"""Opt-in runtime sanitizer for the autograd tape and the sim engine.
+
+Activated by ``REPRO_SANITIZE=1`` (see ``repro/__init__``) or an explicit
+:func:`install` call, the sanitizer monkey-patches checking wrappers onto
+:class:`repro.nn.tensor.Tensor` and
+:class:`repro.sim.engine.SimulationEngine`.  When not installed nothing
+is patched, so the hot paths carry **zero** overhead by default.
+
+Checks (each raises :class:`SanitizerError` with a stable check id):
+
+``tape-dtype``
+    Every op output must stay ``float64`` -- the gradcheck tolerances
+    and the bit-exact checkpoint format both assume it.
+``tape-nonfinite``
+    An op produced NaN/inf from all-finite inputs: the numerical origin
+    of a blow-up, reported where it happens instead of epochs later.
+    Deliberate fault-injection can whitelist a region with
+    :func:`allow_nonfinite`.
+``tape-broadcast``
+    An arithmetic op broadcast two operands into a result strictly
+    larger than both (e.g. ``(3,) + (3,1) -> (3,3)``): almost always a
+    forgotten ``reshape``, silently accepted by numpy.
+``tape-leak``
+    ``backward()`` reached nodes that already carry gradients from an
+    earlier replay -- the graph is being re-run, double-counting every
+    shared subexpression.
+``sim-nonfinite`` / ``sim-lane-bounds``
+    After every engine step, all vehicle states must be finite and every
+    lane index within the road.
+
+The tier-1 suite is expected to pass with the sanitizer installed
+(``REPRO_SANITIZE=1 python -m pytest``); CI runs a fast subset that way
+on every push.  Overhead is measured in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from functools import wraps
+from typing import Iterator
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from ..sim.engine import SimulationEngine
+
+__all__ = ["ENV_VAR", "SanitizerError", "allow_nonfinite", "install",
+           "install_if_enabled", "is_active", "reset_stats", "stats",
+           "uninstall"]
+
+ENV_VAR = "REPRO_SANITIZE"
+
+
+class SanitizerError(RuntimeError):
+    """A sanitizer check failed; ``check`` is the stable check id."""
+
+    def __init__(self, check: str, message: str) -> None:
+        super().__init__(f"[{check}] {message}")
+        self.check = check
+
+
+class _State:
+    """Module-singleton bookkeeping for the installed wrappers."""
+
+    def __init__(self) -> None:
+        self.active = False
+        self.nonfinite_depth = 0
+        self.originals: dict[tuple[type, str], object] = {}
+        self.counters: dict[str, int] = {}
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+
+_state = _State()
+
+
+def is_active() -> bool:
+    """Whether the sanitizer wrappers are currently installed."""
+    return _state.active
+
+
+def stats() -> dict[str, int]:
+    """Counters collected since install/:func:`reset_stats` (a copy)."""
+    return dict(_state.counters)
+
+
+def reset_stats() -> None:
+    _state.counters.clear()
+
+
+@contextmanager
+def allow_nonfinite() -> Iterator[None]:
+    """Suspend the ``tape-nonfinite`` check for deliberate fault tests."""
+    _state.nonfinite_depth += 1
+    try:
+        yield
+    finally:
+        _state.nonfinite_depth -= 1
+
+
+def _patch(cls: type, name: str, wrapper) -> None:
+    _state.originals[(cls, name)] = getattr(cls, name)
+    setattr(cls, name, wrapper)
+
+
+def _wrap_make_child(original):
+    @wraps(original)
+    def checked(self: Tensor, data, parents) -> Tensor:
+        parents = tuple(parents)
+        out = original(self, data, parents)
+        _state.bump("tape_nodes")
+        array = out.data
+        if array.dtype != np.float64:
+            raise SanitizerError(
+                "tape-dtype",
+                f"op produced dtype {array.dtype}; the tape must stay "
+                "float64 (gradcheck and checkpoint formats assume it)")
+        if _state.nonfinite_depth == 0 and not np.isfinite(array).all():
+            if all(np.isfinite(parent.data).all() for parent in parents):
+                raise SanitizerError(
+                    "tape-nonfinite",
+                    "op produced NaN/inf from all-finite inputs (shape "
+                    f"{array.shape}); this is the numerical origin of the "
+                    "blow-up")
+        return out
+    return checked
+
+
+def _wrap_binary(original, op_name: str):
+    @wraps(original)
+    def checked(self: Tensor, other):
+        other_data = other.data if isinstance(other, Tensor) else None
+        if other_data is not None and self.data.ndim >= 1 \
+                and other_data.ndim >= 1 and self.data.shape != other_data.shape:
+            try:
+                result_shape = np.broadcast_shapes(self.data.shape, other_data.shape)
+            except ValueError:
+                result_shape = None  # incompatible; let the op raise numpy's error
+            if result_shape is not None:
+                result_size = math.prod(result_shape)
+                if result_size > max(self.data.size, other_data.size):
+                    raise SanitizerError(
+                        "tape-broadcast",
+                        f"{op_name} broadcast {self.data.shape} with "
+                        f"{other_data.shape} into the larger {result_shape}; "
+                        "outer-product style broadcasts of mismatched "
+                        "trailing dims are almost always a missing reshape")
+        return original(self, other)
+    return checked
+
+
+def _wrap_backward(original):
+    @wraps(original)
+    def checked(self: Tensor, grad=None):
+        stale = 0
+        count = 0
+        seen: set[int] = set()
+        stack: list[Tensor] = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            count += 1
+            if node is not self and node._backward is not None \
+                    and node.grad is not None:
+                stale += 1
+            stack.extend(node._parents)
+        if stale:
+            raise SanitizerError(
+                "tape-leak",
+                f"backward() reached {stale} tape node(s) already carrying "
+                "gradients from an earlier replay; rebuild the graph (or "
+                "zero_grad the whole tape) instead of re-running it")
+        _state.bump("backward_calls")
+        _state.bump("tape_nodes_replayed", count)
+        return original(self, grad)
+    return checked
+
+
+def _wrap_step(original):
+    @wraps(original)
+    def checked(self: SimulationEngine):
+        events = original(self)
+        _state.bump("sim_steps")
+        num_lanes = self.road.num_lanes
+        for vid, vehicle in self.vehicles.items():
+            state = vehicle.state
+            if not (math.isfinite(state.lon) and math.isfinite(state.v)):
+                raise SanitizerError(
+                    "sim-nonfinite",
+                    f"vehicle {vid!r} has non-finite state after step "
+                    f"{self.step_count}: lon={state.lon}, v={state.v}")
+            if not 1 <= state.lat <= num_lanes:
+                raise SanitizerError(
+                    "sim-lane-bounds",
+                    f"vehicle {vid!r} on lane {state.lat} after step "
+                    f"{self.step_count}; valid lanes are 1..{num_lanes}")
+        return events
+    return checked
+
+
+def install() -> None:
+    """Install the checking wrappers (idempotent)."""
+    if _state.active:
+        return
+    _patch(Tensor, "_make_child", _wrap_make_child(Tensor._make_child))
+    _patch(Tensor, "backward", _wrap_backward(Tensor.backward))
+    for op_name in ("__add__", "__mul__", "__truediv__"):
+        _patch(Tensor, op_name, _wrap_binary(getattr(Tensor, op_name), op_name))
+    # __radd__/__rmul__ were bound to the original functions at class
+    # creation; scalar-left operands cannot trigger the broadcast check,
+    # and their outputs still pass through the wrapped _make_child.
+    _patch(SimulationEngine, "step", _wrap_step(SimulationEngine.step))
+    _state.active = True
+
+
+def uninstall() -> None:
+    """Restore the unwrapped methods (idempotent)."""
+    if not _state.active:
+        return
+    for (cls, name), original in _state.originals.items():
+        setattr(cls, name, original)
+    _state.originals.clear()
+    _state.active = False
+
+
+def install_if_enabled(environ=os.environ) -> bool:
+    """Install when :data:`ENV_VAR` is set to a truthy value."""
+    if environ.get(ENV_VAR, "") not in ("", "0"):
+        install()
+        return True
+    return False

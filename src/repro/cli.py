@@ -98,6 +98,17 @@ def build_parser() -> argparse.ArgumentParser:
     drive.add_argument("--every", type=int, default=5,
                        help="render every N-th step")
 
+    lint = commands.add_parser(
+        "lint", help="run the reprolint static analyzer")
+    lint.add_argument("paths", nargs="*", default=["src", "tests"],
+                      help="files or directories to lint (default: src tests)")
+    lint.add_argument("--fail-on-findings", action="store_true",
+                      help="exit non-zero when any finding survives "
+                           "suppressions (the CI gate)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+
     commands.add_parser("info", help="print configuration summary")
     return parser
 
@@ -205,6 +216,32 @@ def cmd_drive(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import RULES, lint_paths
+
+    if args.list_rules:
+        for rule_id, lint_rule in RULES.items():
+            print(f"{rule_id:>18}  {lint_rule.summary}")
+        return 0
+    files = 0
+
+    def count(_path) -> None:
+        nonlocal files
+        files += 1
+
+    findings = lint_paths(args.paths, on_file=count)
+    if args.format == "json":
+        import json
+        print(json.dumps([vars(finding) for finding in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"reprolint: {len(findings)} {noun} in {files} files "
+              f"({len(RULES)} rules)")
+    return 1 if findings and args.fail_on_findings else 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {__version__} -- HEAD (ICDE 2023) reproduction")
     for name, factory in SCALES.items():
@@ -221,6 +258,7 @@ COMMANDS = {
     "evaluate": cmd_evaluate,
     "degradation": cmd_degradation,
     "drive": cmd_drive,
+    "lint": cmd_lint,
     "info": cmd_info,
 }
 

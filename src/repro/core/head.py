@@ -34,6 +34,7 @@ from ..perception.sensor import Sensor
 from ..perception.training import TrainingResult, train_predictor
 from ..sim.road import Road
 from .config import HEADConfig
+from ..seeding import resolve_rng
 
 __all__ = ["HEAD"]
 
@@ -45,7 +46,7 @@ class HEAD(object):
                  rng: np.random.Generator | None = None,
                  name: str = "HEAD") -> None:
         self.config = config or HEADConfig()
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.name = name
         cfg = self.config
 

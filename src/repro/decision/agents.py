@@ -20,6 +20,7 @@ import numpy as np
 
 from .. import nn
 from ..sim import constants
+from ..seeding import resolve_rng
 from .networks import (BranchedQNetwork, BranchedXNetwork, NUM_BEHAVIORS,
                        VanillaQNetwork, VanillaXNetwork)
 from .pamdp import AugmentedState, LaneBehavior, ParameterizedAction
@@ -57,7 +58,7 @@ class PamdpAgent:
         self.warmup = warmup
         self.noise_scale = noise_scale
         self.epsilon = epsilon or EpsilonSchedule()
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.buffer = ReplayBuffer(buffer_capacity, rng=self.rng)
         self.total_steps = 0
 

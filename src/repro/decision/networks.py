@@ -26,6 +26,7 @@ import numpy as np
 from .. import nn
 from ..sim import constants
 from .pamdp import CURRENT_SHAPE, FUTURE_SHAPE
+from ..seeding import resolve_rng
 
 __all__ = ["BranchEncoder", "BranchedXNetwork", "BranchedQNetwork",
            "VanillaXNetwork", "VanillaQNetwork", "NUM_BEHAVIORS"]
@@ -61,7 +62,7 @@ class BranchedXNetwork(nn.Module):
     def __init__(self, hidden_dim: int = 64,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.current_branch = BranchEncoder(CURRENT_SHAPE[1], hidden_dim, rng)
         self.future_branch = BranchEncoder(FUTURE_SHAPE[1], hidden_dim, rng)
         merged = CURRENT_SHAPE[0] + FUTURE_SHAPE[0]  # 7 + 6 = 13
@@ -80,7 +81,7 @@ class BranchedQNetwork(nn.Module):
     def __init__(self, hidden_dim: int = 64,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.current_branch = BranchEncoder(CURRENT_SHAPE[1], hidden_dim, rng)
         self.future_branch = BranchEncoder(FUTURE_SHAPE[1], hidden_dim, rng)
         self.accel_lift = nn.Linear(NUM_BEHAVIORS, hidden_dim, rng=rng)
@@ -103,7 +104,7 @@ class VanillaXNetwork(nn.Module):
     def __init__(self, hidden_dim: int = 64,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.net = nn.MLP([_FLAT_STATE, hidden_dim, hidden_dim, NUM_BEHAVIORS], rng=rng)
 
     def forward(self, current: nn.Tensor, future: nn.Tensor) -> nn.Tensor:
@@ -117,7 +118,7 @@ class VanillaQNetwork(nn.Module):
     def __init__(self, hidden_dim: int = 64,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.net = nn.MLP([_FLAT_STATE + NUM_BEHAVIORS, hidden_dim, hidden_dim,
                            NUM_BEHAVIORS], rng=rng)
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .pamdp import AugmentedState, CURRENT_SHAPE, FUTURE_SHAPE
+from ..seeding import resolve_rng
 
 __all__ = ["Transition", "Batch", "ReplayBuffer"]
 
@@ -56,7 +57,7 @@ class ReplayBuffer:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self._current = np.zeros((capacity, *CURRENT_SHAPE))
         self._future = np.zeros((capacity, *FUTURE_SHAPE))
         self._behavior = np.zeros(capacity, dtype=np.int64)

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
+from ..seeding import resolve_rng
 
 __all__ = ["ConfidenceInterval", "bootstrap_mean", "bootstrap_difference"]
 
@@ -49,7 +50,7 @@ def bootstrap_mean(values: Sequence[float], confidence: float = 0.95,
     values = np.asarray(list(values), dtype=np.float64)
     if len(values) == 0:
         raise ValueError("cannot bootstrap an empty sample")
-    rng = rng or np.random.default_rng(0)
+    rng = resolve_rng(rng)
     stats = _bootstrap(values, np.mean, resamples, rng)
     alpha = (1.0 - confidence) / 2.0
     return ConfidenceInterval(
@@ -73,7 +74,7 @@ def bootstrap_difference(a: Sequence[float], b: Sequence[float],
     b = np.asarray(list(b), dtype=np.float64)
     if a.shape != b.shape or len(a) == 0:
         raise ValueError("paired bootstrap needs equal-length, non-empty samples")
-    rng = rng or np.random.default_rng(0)
+    rng = resolve_rng(rng)
     diffs = a - b
     stats = _bootstrap(diffs, np.mean, resamples, rng)
     alpha = (1.0 - confidence) / 2.0

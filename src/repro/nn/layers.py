@@ -14,6 +14,7 @@ import numpy as np
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor
+from ..seeding import resolve_rng
 
 __all__ = ["Linear", "Sequential", "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "MLP"]
 
@@ -34,7 +35,7 @@ class Linear(Module):
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
@@ -107,7 +108,7 @@ class MLP(Module):
         super().__init__()
         if len(sizes) < 2:
             raise ValueError("MLP needs at least an input and an output size")
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         layers: list[Module] = []
         for index, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
             layers.append(Linear(n_in, n_out, rng=rng))

@@ -14,6 +14,7 @@ import numpy as np
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor, concat
+from ..seeding import resolve_rng
 
 __all__ = ["LSTMCell", "LSTM"]
 
@@ -28,7 +29,7 @@ class LSTMCell(Module):
     def __init__(self, input_size: int, hidden_size: int,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.input_size = input_size
         self.hidden_size = hidden_size
         limit = 1.0 / np.sqrt(hidden_size)

@@ -27,6 +27,7 @@ import numpy as np
 from .. import nn
 from .graph import CONTRIBUTORS, FEATURE_DIM, SpatialTemporalGraph
 from .predictor import OUTPUT_DIM, StatePredictor
+from ..seeding import resolve_rng
 
 __all__ = ["LSTMMLP", "EDLSTM", "GASLED"]
 
@@ -36,7 +37,7 @@ class LSTMMLP(StatePredictor):
     def __init__(self, hidden_dim: int = 64,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.lstm = nn.LSTM(2 * FEATURE_DIM, hidden_dim, rng=rng)
         self.head = nn.MLP([hidden_dim, hidden_dim, OUTPUT_DIM], rng=rng)
 
@@ -51,7 +52,7 @@ class EDLSTM(StatePredictor):
     def __init__(self, hidden_dim: int = 64,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.encoder = nn.LSTM(2 * FEATURE_DIM, hidden_dim, rng=rng)
         self.decoder = nn.LSTMCell(2 * FEATURE_DIM, hidden_dim, rng=rng)
         self.head = nn.Linear(hidden_dim, OUTPUT_DIM, rng=rng)
@@ -78,7 +79,7 @@ class GASLED(StatePredictor):
     def __init__(self, hidden_dim: int = 64,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.hidden_dim = hidden_dim
         self.encoder = nn.LSTM(FEATURE_DIM, hidden_dim, rng=rng)
         self.target_encoder = nn.LSTM(2 * FEATURE_DIM, hidden_dim, rng=rng)

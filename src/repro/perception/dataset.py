@@ -26,6 +26,7 @@ from .neighbors import AREA_COUNT
 from .phantom import build_scene
 from .sensor import Sensor
 from .tracking import ObservationBuffer
+from ..seeding import resolve_rng
 
 __all__ = ["PredictionSample", "build_samples", "collate", "train_test_samples"]
 
@@ -84,7 +85,7 @@ def build_samples(trajectories: TrajectorySet, ego_ids: list[str] | None = None,
         Sensor model (range + occlusion); defaults to the paper's R=100m.
     """
     sensor = sensor or Sensor()
-    rng = rng or np.random.default_rng(0)
+    rng = resolve_rng(rng)
     road = trajectories.road
     if ego_ids is None:
         ego_ids = _pick_long_lived(trajectories, max_egos, history_steps, rng)

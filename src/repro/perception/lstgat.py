@@ -25,6 +25,7 @@ from .. import nn
 from ..sim import constants
 from .graph import CONTRIBUTORS, FEATURE_DIM, SpatialTemporalGraph
 from .predictor import StatePredictor
+from ..seeding import resolve_rng
 
 __all__ = ["LSTGAT"]
 
@@ -40,7 +41,7 @@ class GraphAttention(nn.Module):
                  negative_slope: float = 0.2, num_heads: int = 4,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         if hidden_dim % num_heads:
             raise ValueError("hidden_dim must be divisible by num_heads")
         self.hidden_dim = hidden_dim
@@ -125,7 +126,7 @@ class LSTGAT(StatePredictor):
                  history_steps: int = constants.HISTORY_STEPS,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.history_steps = history_steps
         self.attention = GraphAttention(FEATURE_DIM, attention_dim, rng=rng)
         # The LSTM sees the Eq. 11 aggregation concatenated with the raw

@@ -15,6 +15,7 @@ import numpy as np
 from .. import nn
 from .predictor import StatePredictor
 from .dataset import PredictionSample, collate
+from ..seeding import resolve_rng
 
 __all__ = ["TrainingResult", "train_predictor", "evaluate_predictor", "AccuracyReport"]
 
@@ -50,7 +51,7 @@ def train_predictor(model: StatePredictor, samples: list[PredictionSample],
     """
     if not samples:
         raise ValueError("cannot train on an empty sample list")
-    rng = rng or np.random.default_rng(0)
+    rng = resolve_rng(rng)
     optimizer = nn.Adam(model.parameters(), lr=lr)
     result = TrainingResult()
     start = time.perf_counter()

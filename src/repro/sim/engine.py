@@ -29,6 +29,7 @@ from .carfollowing import CarFollowingModel, FREE_ROAD_GAP, Krauss, free_road_ga
 from .lanechange import MOBIL
 from .road import Road
 from .vehicle import ProfileArrays, Vehicle, VehicleState
+from ..seeding import resolve_rng
 
 __all__ = ["CollisionEvent", "SimulationEngine", "Maneuver"]
 
@@ -159,7 +160,7 @@ class SimulationEngine:
         self.road = road or Road()
         self.car_following = car_following or Krauss()
         self.lane_change = MOBIL(self.car_following)
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.history_length = history_length
         self.reference = reference
         self.step_count = 0

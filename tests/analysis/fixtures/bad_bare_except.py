@@ -1,0 +1,15 @@
+"""Fixture: bare except clauses."""
+
+
+def swallow():
+    try:
+        return 1
+    except:  # expect: bare-except
+        return 0
+
+
+def fine():
+    try:
+        return 1
+    except Exception:
+        return 0

@@ -1,0 +1,20 @@
+"""Fixture: equality against float literals binary64 cannot represent."""
+
+
+def checks(x):
+    if x == 0.1:  # expect: naked-float-eq
+        return 1
+    if x != 0.9:  # expect: naked-float-eq
+        return 2
+    if 0.3 == x:  # expect: naked-float-eq
+        return 3
+    return 0
+
+
+def chained(x):
+    # 0.1 sits under `<=` (ordering is fine); only the `==` side fires.
+    return 0.1 <= x == 0.7  # expect: naked-float-eq
+
+
+def fine(x):
+    return x == 0.5 or x == 2.0 or x != 0.0 or x == -0.25 or x <= 0.1

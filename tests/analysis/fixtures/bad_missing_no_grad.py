@@ -1,0 +1,24 @@
+"""Fixture: target-network forwards outside no_grad."""
+
+from repro import nn  # never imported; lint-only
+
+
+class Agent:
+    def td_target(self, batch):
+        return self.q_target(batch)  # expect: missing-no-grad
+
+    def td_target_actor(self, batch):
+        action = self.actor_target(batch)  # expect: missing-no-grad
+        return action
+
+    def fine(self, batch):
+        with nn.no_grad():
+            return self.q_target(batch)
+
+    def fine_bare_name(self, batch):
+        with no_grad():  # noqa: F821 -- lint-only fixture
+            return self.x_target(batch)
+
+    def fine_not_a_network(self, batch):
+        # `target_*` prefix names are data/modules, not frozen networks.
+        return self.target_mask(batch) + self.target_encoder(batch)

@@ -1,0 +1,21 @@
+"""Fixture: mutable default arguments."""
+
+
+def listy(values=[]):  # expect: mutable-default
+    return values
+
+
+def dicty(mapping={}):  # expect: mutable-default
+    return mapping
+
+
+def cally(items=list()):  # expect: mutable-default
+    return items
+
+
+def kw_only(*, seen=set()):  # expect: mutable-default
+    return seen
+
+
+def fine(values=None, count=0, name="x", pair=(1, 2)):
+    return values, count, name, pair

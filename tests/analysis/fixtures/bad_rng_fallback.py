@@ -1,0 +1,21 @@
+"""Fixture: the banned inline ``rng or default_rng(...)`` fallback.
+
+The fallbacks here are *seeded* so only rng-fallback fires, isolating
+the rule from unseeded-rng.
+"""
+
+import numpy as np
+
+
+def boolean_or(rng=None):
+    rng = rng or np.random.default_rng(0)  # expect: rng-fallback
+    return rng
+
+
+def conditional(rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)  # expect: rng-fallback
+    return rng
+
+
+def fine_injected(rng):
+    return rng.normal(size=3)

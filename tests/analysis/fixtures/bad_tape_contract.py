@@ -1,0 +1,43 @@
+"""Fixture: violations of the tape-op contract."""
+
+
+class FakeTensor:
+    data = None
+    requires_grad = True
+
+    def _make_child(self, data, parents):
+        return FakeTensor()
+
+    def no_make_child(self, other):
+        out = FakeTensor()
+        out._backward = lambda grad: grad  # expect: tape-op-contract,tape-op-contract
+        return out
+
+    def wrong_arity(self, other):
+        out = self._make_child(self.data, (self, other))
+        if out.requires_grad:
+            out._backward = lambda grad, extra: grad  # expect: tape-op-contract
+        return out
+
+    def good_op(self, other):
+        out = self._make_child(self.data, (self, other))
+        if out.requires_grad:
+            out._backward = lambda grad: grad
+        return out
+
+    def good_named_closure(self, other):
+        out = self._make_child(self.data, (self, other))
+
+        def backward(grad):
+            return grad
+
+        if out.requires_grad:
+            out._backward = backward
+        return out
+
+    def clearing_is_fine(self):
+        self._backward = None
+
+
+leaked = FakeTensor()
+leaked._backward = lambda grad: grad  # expect: tape-op-contract

@@ -1,0 +1,42 @@
+"""Fixture: every unseeded-rng variant reprolint must catch.
+
+Lines tagged ``# expect: <rule-id>`` are asserted (line + rule) by
+``tests/analysis/test_reprolint.py``.  This file is never imported.
+"""
+
+import numpy as np
+import numpy.random as npr
+from numpy import random
+from numpy.random import default_rng
+
+
+def anonymous_default():
+    return np.random.default_rng()  # expect: unseeded-rng
+
+
+def aliased_module():
+    return npr.default_rng()  # expect: unseeded-rng
+
+
+def from_import():
+    return default_rng()  # expect: unseeded-rng
+
+
+def legacy_global():
+    return np.random.rand(3)  # expect: unseeded-rng
+
+
+def legacy_via_from(n):
+    return random.randint(0, n)  # expect: unseeded-rng
+
+
+def fine_seeded(seed):
+    return np.random.default_rng(seed)
+
+
+def fine_keyword():
+    return np.random.default_rng(seed=17)
+
+
+def fine_constructors():
+    return np.random.Generator(np.random.PCG64(5))

@@ -1,0 +1,59 @@
+"""Fixture: idiomatic code near every rule's boundary -- zero findings.
+
+Includes a docstring mention of the suppression syntax, which must NOT
+be parsed as a directive: ``# reprolint: disable=unseeded-rng`` inside a
+string is documentation, not a suppression.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.seeding import resolve_rng
+
+
+def seeded(seed):
+    return np.random.default_rng(seed)
+
+
+def injected(rng=None):
+    rng = resolve_rng(rng)
+    return rng.normal(size=3)
+
+
+def exact_comparisons(x):
+    return x == 0.0 or x == 0.5 or x != -2.0
+
+
+def safe_defaults(values=None, pair=(1, 2)):
+    return values, pair
+
+
+def narrow_except():
+    try:
+        return 1
+    except ValueError:
+        return 0
+
+
+class Agent:
+    def td_target(self, batch):
+        with nn.no_grad():
+            return self.q_target(batch)
+
+
+class MiniTensor:
+    data = None
+    requires_grad = True
+
+    def _make_child(self, data, parents):
+        return MiniTensor()
+
+    def mul(self, other):
+        out = self._make_child(self.data, (self, other))
+        if out.requires_grad:
+            out._backward = lambda grad: grad
+        return out
+
+    def detach(self):
+        self._backward = None
+        return self

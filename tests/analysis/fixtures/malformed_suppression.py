@@ -1,0 +1,12 @@
+"""Fixture: malformed suppression comments are themselves findings.
+
+Expected findings are hand-coded in test_reprolint.py (the marker
+convention cannot ride lines that already carry a reprolint comment).
+"""
+
+import numpy as np
+
+unknown_verb = 1  # reprolint: frobnicate=unseeded-rng
+missing_rule_list = 2  # reprolint: disable
+unknown_rule = 3  # reprolint: disable=no-such-rule
+partially_valid = np.random.default_rng()  # reprolint: disable=no-such-rule,unseeded-rng

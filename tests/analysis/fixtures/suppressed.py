@@ -1,0 +1,20 @@
+"""Fixture: valid suppressions silence findings; unsuppressed ones survive."""
+
+import numpy as np
+
+# reprolint: disable-file=bare-except
+
+
+def suppressed_on_line():
+    return np.random.default_rng()  # reprolint: disable=unseeded-rng
+
+
+def suppressed_by_file_directive():
+    try:
+        return 1
+    except:
+        return 0
+
+
+def still_caught():
+    return np.random.default_rng()  # expect: unseeded-rng

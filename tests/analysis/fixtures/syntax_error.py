@@ -1,0 +1,4 @@
+"""Fixture: a file that does not parse must yield syntax-error."""
+
+def broken(:
+    pass

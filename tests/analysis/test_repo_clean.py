@@ -1,0 +1,24 @@
+"""The acceptance gate: the repository's own tree lints clean.
+
+This is the same check CI runs (``python -m repro.cli lint src tests
+--fail-on-findings``); keeping it in the tier-1 suite means a rule
+violation fails locally before it ever reaches CI.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_and_tests_lint_clean():
+    findings = lint_paths([REPO / "src", REPO / "tests"])
+    assert findings == [], "\n".join(finding.render() for finding in findings)
+
+
+def test_scripts_and_benchmarks_lint_clean():
+    paths = [path for path in (REPO / "scripts", REPO / "benchmarks")
+             if path.is_dir()]
+    findings = lint_paths(paths)
+    assert findings == [], "\n".join(finding.render() for finding in findings)

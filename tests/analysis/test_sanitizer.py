@@ -1,0 +1,212 @@
+"""Runtime sanitizer tests: install/uninstall, every check, env gating."""
+
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import SanitizerError, install, is_active, uninstall
+from repro.analysis.sanitize import (
+    allow_nonfinite, install_if_enabled, reset_stats, stats,
+)
+from repro.nn.tensor import Tensor
+from repro.sim import Road, SimulationEngine, Vehicle, VehicleState
+from repro.sim.vehicle import DriverProfile
+
+REPO = Path(__file__).resolve().parents[2]
+
+# Under REPRO_SANITIZE=1 the suite imports with the sanitizer already
+# installed; peel it back long enough to capture the true originals,
+# then restore whatever state the session started in.
+_ENV_ACTIVE = is_active()
+if _ENV_ACTIVE:
+    uninstall()
+ORIGINALS = {name: getattr(Tensor, name)
+             for name in ("_make_child", "backward", "__add__", "__mul__",
+                          "__truediv__")}
+ORIGINAL_STEP = SimulationEngine.step
+if _ENV_ACTIVE:
+    install()
+
+
+@pytest.fixture
+def sanitized():
+    install()
+    reset_stats()
+    try:
+        yield
+    finally:
+        if not _ENV_ACTIVE:
+            uninstall()
+
+
+def tensor(values, requires_grad=True):
+    return Tensor(np.asarray(values, dtype=np.float64),
+                  requires_grad=requires_grad)
+
+
+def divide(a, b):
+    """a / b with numpy's deliberate divide-by-zero warning silenced."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return a / b
+
+
+def make_engine():
+    engine = SimulationEngine(road=Road(length=500.0),
+                              rng=np.random.default_rng(0))
+    engine.add_vehicle(Vehicle("a", VehicleState(1, 100.0, 10.0),
+                               profile=DriverProfile(imperfection=0.0)))
+    return engine
+
+
+def test_install_uninstall_roundtrip():
+    try:
+        uninstall()
+        assert not is_active()
+        install()
+        assert is_active()
+        assert Tensor._make_child is not ORIGINALS["_make_child"]
+        install()  # idempotent
+        uninstall()
+        assert not is_active()
+        for name, original in ORIGINALS.items():
+            assert getattr(Tensor, name) is original
+        assert SimulationEngine.step is ORIGINAL_STEP
+        uninstall()  # idempotent
+    finally:
+        if _ENV_ACTIVE:
+            install()
+
+
+def test_clean_computation_passes(sanitized):
+    a = tensor([1.0, 2.0, 3.0])
+    b = tensor([4.0, 5.0, 6.0])
+    loss = (a * b + a).sum()
+    loss.backward()
+    assert np.isfinite(a.grad).all()
+    counts = stats()
+    assert counts["tape_nodes"] > 0
+    assert counts["backward_calls"] == 1
+
+
+def test_nonfinite_from_finite_inputs_raises(sanitized):
+    a = tensor([1.0])
+    zero = tensor([0.0])
+    with pytest.raises(SanitizerError) as excinfo:
+        divide(a, zero)
+    assert excinfo.value.check == "tape-nonfinite"
+
+
+def test_allow_nonfinite_whitelists_region(sanitized):
+    a = tensor([1.0])
+    zero = tensor([0.0])
+    with allow_nonfinite():
+        out = divide(a, zero)
+    assert math.isinf(out.data[0])
+
+
+def test_nonfinite_inputs_do_not_retrigger(sanitized):
+    # Propagating an already-non-finite value is not a *new* origin.
+    with allow_nonfinite():
+        bad = divide(tensor([1.0]), tensor([0.0]))
+    assert math.isinf((bad + tensor([1.0])).data[0])
+
+
+def test_constructor_coerces_to_float64():
+    # The dtype guard is belt-and-braces: Tensor.__init__ already casts.
+    assert Tensor(np.zeros(2, dtype=np.float32)).data.dtype == np.float64
+
+
+def test_dtype_check_guards_against_coercion_regressions(sanitized):
+    from repro.analysis.sanitize import _wrap_make_child
+
+    class FakeOut:
+        data = np.zeros(2, dtype=np.float32)
+
+    wrapped = _wrap_make_child(lambda self, data, parents: FakeOut())
+    with pytest.raises(SanitizerError) as excinfo:
+        wrapped(None, None, ())
+    assert excinfo.value.check == "tape-dtype"
+
+
+def test_broadcast_check(sanitized):
+    row = tensor([1.0, 2.0, 3.0])
+    col = tensor([[1.0], [2.0], [3.0]])
+    with pytest.raises(SanitizerError) as excinfo:
+        row + col
+    assert excinfo.value.check == "tape-broadcast"
+
+
+def test_compatible_broadcast_allowed(sanitized):
+    mat = tensor([[1.0, 2.0], [3.0, 4.0]])
+    row = tensor([[10.0, 20.0]])
+    assert ((mat + row).data == np.array([[11.0, 22.0], [13.0, 24.0]])).all()
+    assert (mat + 1.0).data.shape == (2, 2)  # scalars never broadcast-check
+
+
+def test_double_backward_is_a_leak(sanitized):
+    a = tensor([1.0, 2.0])
+    loss = (a * a).sum()
+    loss.backward()
+    with pytest.raises(SanitizerError) as excinfo:
+        loss.backward()
+    assert excinfo.value.check == "tape-leak"
+
+
+def test_sim_step_passes_clean(sanitized):
+    engine = make_engine()
+    engine.step()
+    assert stats()["sim_steps"] == 1
+
+
+def test_sim_nonfinite_state(sanitized):
+    engine = make_engine()
+    vehicle = engine.vehicles["a"]
+    vehicle.state = VehicleState(1, float("nan"), 10.0)
+    with pytest.raises(SanitizerError) as excinfo:
+        engine.step()
+    assert excinfo.value.check == "sim-nonfinite"
+
+
+def test_sim_lane_bounds(sanitized):
+    engine = make_engine()
+    vehicle = engine.vehicles["a"]
+    vehicle.state = VehicleState(99, 100.0, 10.0)
+    with pytest.raises(SanitizerError) as excinfo:
+        engine.step()
+    assert excinfo.value.check == "sim-lane-bounds"
+
+
+def test_error_message_carries_check_id(sanitized):
+    a = tensor([1.0])
+    with pytest.raises(SanitizerError, match=r"^\[tape-nonfinite\]"):
+        divide(a, tensor([0.0]))
+
+
+def test_install_if_enabled_env_gating():
+    try:
+        uninstall()
+        assert not install_if_enabled(environ={})
+        assert not install_if_enabled(environ={"REPRO_SANITIZE": ""})
+        assert not install_if_enabled(environ={"REPRO_SANITIZE": "0"})
+        assert not is_active()
+        assert install_if_enabled(environ={"REPRO_SANITIZE": "1"})
+        assert is_active()
+    finally:
+        uninstall()
+        if _ENV_ACTIVE:
+            install()
+
+
+def test_import_time_activation():
+    script = ("import repro\n"
+              "from repro.analysis import is_active\n"
+              "assert is_active(), 'REPRO_SANITIZE=1 must install at import'\n")
+    result = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True,
+        cwd=REPO, env={"PYTHONPATH": str(REPO / "src"), "REPRO_SANITIZE": "1",
+                       "PATH": "/usr/bin:/bin"})
+    assert result.returncode == 0, result.stderr

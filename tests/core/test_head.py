@@ -24,18 +24,18 @@ def test_paper_config_defaults():
     assert cfg.training_episodes == 4000
     assert cfg.sensor_range == 100.0
     assert cfg.history_steps == 5
-    assert cfg.gamma == 0.9
+    assert cfg.gamma == 0.9  # reprolint: disable=naked-float-eq
     assert cfg.replay_capacity == 20_000
-    assert cfg.reward_weights.safety == 0.9
-    assert cfg.reward_weights.efficiency == 0.8
-    assert cfg.reward_weights.comfort == 0.6
-    assert cfg.reward_weights.impact == 0.2
+    assert cfg.reward_weights.safety == 0.9  # reprolint: disable=naked-float-eq
+    assert cfg.reward_weights.efficiency == 0.8  # reprolint: disable=naked-float-eq
+    assert cfg.reward_weights.comfort == 0.6  # reprolint: disable=naked-float-eq
+    assert cfg.reward_weights.impact == 0.2  # reprolint: disable=naked-float-eq
 
 
 def test_scaled_config_preserves_untouched_fields():
     cfg = HEADConfig().scaled()
     assert cfg.sensor_range == 100.0
-    assert cfg.gamma == 0.9
+    assert cfg.gamma == 0.9  # reprolint: disable=naked-float-eq
     assert cfg.road_length == 600.0
 
 
@@ -71,7 +71,7 @@ def test_variant_without_bpdqn(config):
 def test_variant_without_impact(config):
     head = head_without_impact(config, np.random.default_rng(0))
     assert head.reward.weights.impact == 0.0
-    assert head.reward.weights.safety == 0.9
+    assert head.reward.weights.safety == 0.9  # reprolint: disable=naked-float-eq
 
 
 def test_all_variants_registry(config):

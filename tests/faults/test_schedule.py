@@ -54,7 +54,7 @@ def test_scaled_rejects_negative_intensity():
 
 def test_scaled_accepts_overrides():
     schedule = FaultSchedule.scaled(1.0, dropout_rate=0.9)
-    assert schedule.dropout_rate == 0.9
+    assert schedule.dropout_rate == 0.9  # reprolint: disable=naked-float-eq
     assert schedule.noise_rate == pytest.approx(_BASE_RATES["noise_rate"])
 
 
