@@ -1,0 +1,67 @@
+"""Shared helpers for the ``BENCH_*.json`` microbenchmark artifacts.
+
+Every perf benchmark in this suite reports through :func:`write_bench`
+so the artifacts land in one place (the repo root) with one naming
+scheme, and measures through :func:`best_of` / :func:`interleaved_best`
+so the methodology is uniform:
+
+- **best-of-N**, not mean-of-N: the minimum over repeats estimates the
+  noise-free cost on shared hardware, where the mean is polluted by
+  scheduler spikes that have nothing to do with the code under test;
+- **interleaved** A/B runs: alternating the contenders inside each
+  repeat exposes both to the same slow phases of the machine, so a
+  background load burst cannot systematically favor one side.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = ["REPO_ROOT", "bench_path", "write_bench", "best_of",
+           "interleaved_best"]
+
+
+def bench_path(name: str) -> Path:
+    """Repo-root path of the ``BENCH_<name>.json`` artifact."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def write_bench(name: str, payload: dict) -> Path:
+    """Write a benchmark result artifact and return its path."""
+    path = bench_path(name)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def best_of(fn: Callable[[], object], repeats: int, inner: int = 1) -> float:
+    """Best-of-``repeats`` seconds per call of ``fn`` (``inner`` calls/rep)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def interleaved_best(fns: dict[str, Callable[[], object]], repeats: int,
+                     inner: int = 1) -> dict[str, float]:
+    """Best-of-``repeats`` per-call seconds for each contender.
+
+    All contenders run inside every repeat, back to back, so machine
+    noise hits them symmetrically.
+    """
+    best = {name: float("inf") for name in fns}
+    for _ in range(repeats):
+        for name, fn in fns.items():
+            start = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            best[name] = min(best[name],
+                             (time.perf_counter() - start) / inner)
+    return best

@@ -8,22 +8,24 @@ collision records for the entire run.
 
 Measurement is interleaved (scalar, vectorized, scalar, ...) and the
 reported speedup is the ratio of best-of-N wall times, which is robust
-to the machine-noise spikes that plague mean-of-N on shared hardware.
+to the machine-noise spikes that plague mean-of-N on shared hardware
+(see ``benchmarks/_bench_io.py`` for the shared methodology helpers).
 The result is written to ``BENCH_sim.json`` at the repo root.
 """
 
-import json
 import time
-from pathlib import Path
 
+import pytest
+
+from _bench_io import write_bench
 from repro.sim.scenarios import dense_platoon
+
+pytestmark = pytest.mark.perf
 
 STEPS = 200
 SIZE = 30
 SEED = 7
 REPEATS = 8
-
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 
 def trace(reference: bool):
@@ -74,9 +76,9 @@ def test_vectorized_speedup():
         "scalar_times_s": scalar_times,
         "vectorized_times_s": vector_times,
     }
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    path = write_bench("sim", result)
     print(f"\nBENCH_sim: scalar {result['scalar_per_step_us']:.0f}us/step, "
           f"vectorized {result['vectorized_per_step_us']:.0f}us/step, "
-          f"speedup {speedup:.2f}x -> {RESULT_PATH.name}")
+          f"speedup {speedup:.2f}x -> {path.name}")
 
     assert speedup >= 3.0, f"vectorized speedup {speedup:.2f}x below 3x target"

@@ -1,0 +1,78 @@
+"""Regenerate the LST-GAT golden forward/backward trace fixture.
+
+The fixture ``tests/nn/golden/lstgat_trace.npz`` pins the *numerical
+behaviour* of the full LST-GAT forward + masked-MSE backward pass: the
+committed copy was generated at the last commit before the VJP-registry
+autograd refactor, so ``tests/nn/test_equivalence_fused.py`` asserting
+against it proves the refactored engine reproduces the pre-refactor
+mathematics end to end (the PR 1 golden-trace pattern, applied to the
+NN stack).
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/make_lstgat_golden.py
+
+Only regenerate the fixture on a *deliberate*, reviewed change to the
+model mathematics -- never to make a failing equivalence test pass.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.perception.graph import CONTRIBUTORS, FEATURE_DIM, SpatialTemporalGraph
+from repro.perception.lstgat import LSTGAT
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "nn" / "golden" / "lstgat_trace.npz"
+
+#: Fixture workload: paper-scale dims, one phantom target so the Eq. 14
+#: mask and the padding branch of the attention are both on the trace.
+MODEL_SEED = 7
+DATA_SEED = 123
+Z, N = 5, 6
+ATTENTION_DIM = LSTM_DIM = 64
+
+
+def build_graph() -> tuple[SpatialTemporalGraph, np.ndarray]:
+    rng = np.random.default_rng(DATA_SEED)
+    contributors = rng.standard_normal((Z, N, CONTRIBUTORS, FEATURE_DIM))
+    contributors[:, :, 3, :] = 0.0          # one padded surrounding slot
+    targets = contributors[:, :, 0, :].copy()
+    ego = rng.standard_normal((Z, N, FEATURE_DIM))
+    mask = np.ones(N)
+    mask[4] = 0.0                           # one phantom target
+    truth = rng.standard_normal((N, 3))
+    return SpatialTemporalGraph(targets, contributors, mask, ego), truth
+
+
+def main() -> None:
+    graph, truth = build_graph()
+    model = LSTGAT(attention_dim=ATTENTION_DIM, lstm_dim=LSTM_DIM,
+                   rng=np.random.default_rng(MODEL_SEED))
+    prediction = model.forward_graph(graph)
+    model.zero_grad()
+    loss = model.loss(graph, truth)
+    loss.backward()
+
+    payload: dict[str, np.ndarray] = {
+        "target_features": graph.target_features,
+        "contributor_features": graph.contributor_features,
+        "target_mask": graph.target_mask,
+        "ego_features": graph.ego_features,
+        "truth": truth,
+        "prediction": prediction.numpy(),
+        "loss": np.array(loss.item()),
+    }
+    for name, parameter in model.named_parameters():
+        payload[f"grad::{name}"] = parameter.grad
+        payload[f"param::{name}"] = parameter.data
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(GOLDEN_PATH, **payload)
+    print(f"wrote {GOLDEN_PATH} ({GOLDEN_PATH.stat().st_size} bytes, "
+          f"loss={loss.item():.12f})")
+
+
+if __name__ == "__main__":
+    main()

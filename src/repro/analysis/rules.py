@@ -293,18 +293,26 @@ def _guarded_by_requires_grad(ctx: LintContext, node: ast.AST) -> bool:
 
 @rule
 class TapeOpContract(Rule):
-    """Structural contract for ops that record a backward closure.
+    """Structural contract for ops that record work on the tape.
 
-    An op assigning ``out._backward`` must (a) declare its inputs by
-    building ``out`` through ``_make_child(data, parents)`` in the same
-    function -- that is what registers parent shapes on the tape and
-    routes gradients -- (b) guard the recording under a
-    ``requires_grad`` check so inference never pays for closure
-    construction, and (c) record a one-argument ``grad`` callable.
+    Two recording styles exist.  Closure-style ops (the frozen legacy
+    engine in ``repro.nn.reference``) assign ``out._backward``; they
+    must (a) declare their inputs by building ``out`` through
+    ``_make_child(data, parents)`` in the same function -- that is what
+    registers parent shapes on the tape and routes gradients -- (b)
+    guard the recording under a ``requires_grad`` check so inference
+    never pays for closure construction, and (c) record a one-argument
+    ``grad`` callable.
+
+    Registry-style ops (the live VJP engine in ``repro.nn.tensor``)
+    assign ``out._op`` instead; the same (a)/(b) apply, and the op name
+    must be a string literal registered through ``defvjp("name", ...)``
+    in the same module -- an unregistered name only fails at
+    ``backward()`` time, far from the definition site.
     """
 
     id = "tape-op-contract"
-    summary = "_backward recorded without _make_child/requires_grad/1-arg closure"
+    summary = "tape op breaks the _backward/_op recording contract"
 
     @staticmethod
     def _enclosing_function(ctx: LintContext,
@@ -325,19 +333,39 @@ class TapeOpContract(Rule):
                     return len(node.args.args) + len(node.args.posonlyargs)
         return None
 
+    @staticmethod
+    def _registered_vjp_names(ctx: LintContext) -> set[str]:
+        """Op names registered via ``defvjp("name", ...)`` in this module."""
+        names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            callee = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if callee != "defvjp":
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                names.add(first.value)
+        return names
+
     def run(self, ctx: LintContext) -> Iterable[Finding]:
+        registered: set[str] | None = None
         for node in ast.walk(ctx.tree):
             if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
                 continue
             target = node.targets[0]
-            if not (isinstance(target, ast.Attribute) and target.attr == "_backward"):
+            if not (isinstance(target, ast.Attribute)
+                    and target.attr in ("_backward", "_op")):
                 continue
+            slot = target.attr
             if isinstance(node.value, ast.Constant) and node.value.value is None:
                 continue  # clearing the slot is always fine
             scope = self._enclosing_function(ctx, node)
             if scope is None:
                 yield ctx.finding(self.id, node,
-                                  "_backward recorded at module scope")
+                                  f"{slot} recorded at module scope")
                 continue
             calls_make_child = any(
                 isinstance(part, ast.Call)
@@ -349,17 +377,34 @@ class TapeOpContract(Rule):
             if not calls_make_child:
                 yield ctx.finding(
                     self.id, node,
-                    "op records a backward closure without declaring its "
-                    "inputs via _make_child(data, parents)")
+                    f"op records {slot} without declaring its inputs via "
+                    "_make_child(data, parents)")
             if not _guarded_by_requires_grad(ctx, node):
                 yield ctx.finding(
                     self.id, node,
-                    "_backward assignment must be guarded by a "
-                    "requires_grad check so inference skips closure "
-                    "construction")
-            arg_count = self._closure_arg_count(scope, node.value)
-            if arg_count is not None and arg_count != 1:
-                yield ctx.finding(
-                    self.id, node,
-                    f"backward closure takes {arg_count} arguments; the tape "
-                    "replays closures with exactly one (the output gradient)")
+                    f"{slot} assignment must be guarded by a requires_grad "
+                    "check so inference skips tape bookkeeping")
+            if slot == "_backward":
+                arg_count = self._closure_arg_count(scope, node.value)
+                if arg_count is not None and arg_count != 1:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"backward closure takes {arg_count} arguments; the "
+                        "tape replays closures with exactly one (the output "
+                        "gradient)")
+            else:
+                if not (isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, str)):
+                    yield ctx.finding(
+                        self.id, node,
+                        "_op must be assigned a string literal so the VJP "
+                        "lookup is statically checkable")
+                else:
+                    if registered is None:
+                        registered = self._registered_vjp_names(ctx)
+                    if node.value.value not in registered:
+                        yield ctx.finding(
+                            self.id, node,
+                            f"_op name {node.value.value!r} has no matching "
+                            "defvjp(...) registration in this module; "
+                            "backward() would fail at replay time")

@@ -165,16 +165,19 @@ def _wrap_backward(original):
                 continue
             seen.add(id(node))
             count += 1
-            if node is not self and node._backward is not None \
-                    and node.grad is not None:
+            # The VJP engine marks every consumed node ``_done``; a
+            # reachable done node means this graph (or a shared piece of
+            # it) was already replayed.  Report it as the sanitizer
+            # check before the engine raises its own RuntimeError.
+            if node._done:
                 stale += 1
             stack.extend(node._parents)
         if stale:
             raise SanitizerError(
                 "tape-leak",
-                f"backward() reached {stale} tape node(s) already carrying "
-                "gradients from an earlier replay; rebuild the graph (or "
-                "zero_grad the whole tape) instead of re-running it")
+                f"backward() reached {stale} tape node(s) already consumed "
+                "by an earlier replay; rebuild the graph (or keep a fresh "
+                "forward pass per backward) instead of re-running it")
         _state.bump("backward_calls")
         _state.bump("tape_nodes_replayed", count)
         return original(self, grad)

@@ -13,7 +13,7 @@ import numpy as np
 
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, linear
 from ..seeding import resolve_rng
 
 __all__ = ["Linear", "Sequential", "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "MLP"]
@@ -42,10 +42,7 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features)) if bias else None
 
     def forward(self, inputs: Tensor) -> Tensor:
-        output = inputs @ self.weight.T
-        if self.bias is not None:
-            output = output + self.bias
-        return output
+        return linear(inputs, self.weight, self.bias)
 
 
 class ReLU(Module):

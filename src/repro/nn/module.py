@@ -53,8 +53,28 @@ class Module:
                         yield from item.named_parameters(prefix=f"{full}.{index}.")
 
     def parameters(self) -> list[Parameter]:
-        """Return all trainable parameters of this module tree."""
-        return [parameter for _, parameter in self.named_parameters()]
+        """Return all trainable parameters of this module tree.
+
+        Same depth-first order as :meth:`named_parameters`, but without
+        building dotted names -- this runs once per training step (via
+        :meth:`zero_grad` and the optimizers), so it stays string-free.
+        """
+        found: list[Parameter] = []
+        self._collect_parameters(found)
+        return found
+
+    def _collect_parameters(self, found: list["Parameter"]) -> None:
+        for value in vars(self).values():
+            if isinstance(value, Parameter):
+                found.append(value)
+            elif isinstance(value, Module):
+                value._collect_parameters(found)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Parameter):
+                        found.append(item)
+                    elif isinstance(item, Module):
+                        item._collect_parameters(found)
 
     def modules(self) -> Iterator["Module"]:
         """Yield this module and every descendant module."""

@@ -62,6 +62,37 @@ class GraphAttention(nn.Module):
         # feature lets one linear map deliver exactly that quantity.
         self.phi3 = nn.Parameter(_xavier(rng, (hidden_dim, 2 * feature_dim)))
 
+    def attention_weights(self, targets: nn.Tensor,
+                          contributors: nn.Tensor) -> nn.Tensor:
+        """Eq. 10 per-head attention weights alpha, ``(z, n, 7, K)``.
+
+        Every (step, target, contributor, head) score falls out of two
+        einsum contractions against the head-major views of ``phi1`` and
+        the phi_2 halves -- no per-head loop, no mul+sum intermediate.
+        Shared by :meth:`forward` and :meth:`LSTGAT.attention_map` so the
+        interpretability view can never drift from the training math.
+        """
+        z, n = targets.shape[0], targets.shape[1]
+        phi1_heads = self.phi1.reshape(self.num_heads, self.head_dim, -1)
+        # Per-head scalar scores.  ``a . (phi1_k x) = (a @ phi1_k) . x``,
+        # so each phi_2 half folds with its head's phi_1 block into one
+        # tiny ``(K, F)`` score matrix before ever touching the data --
+        # the ``(z, n, 7, K, Dh)`` transformed-feature intermediate of
+        # the naive order never gets materialized.
+        fold_src = nn.einsum("kd,kdf->kf", self.attn_src, phi1_heads)
+        fold_dst = nn.einsum("kd,kdf->kf", self.attn_dst, phi1_heads)
+        score_target = nn.einsum("znf,kf->znk", targets, fold_src)
+        score_contrib = nn.einsum("zncf,kf->znck", contributors, fold_dst)
+        scores = score_target.reshape(z, n, 1, self.num_heads) + score_contrib
+        scores = scores.leaky_relu(self.negative_slope)
+        # Padding mask: zero-padded slots (all-zero feature vectors, the
+        # surroundings of phantom targets) must not receive attention.
+        padding = (np.abs(contributors.data).sum(axis=-1) == 0.0)
+        if padding.any():
+            scores = scores + nn.Tensor(
+                np.where(padding, -1e9, 0.0)[:, :, :, None])
+        return scores.softmax(axis=2)                                       # Eq. 10
+
     def forward(self, targets: nn.Tensor, contributors: nn.Tensor) -> nn.Tensor:
         """Aggregate contributors into updated target vectors.
 
@@ -76,30 +107,26 @@ class GraphAttention(nn.Module):
         -------
         ``(z, 6, hidden_dim)`` updated historical states h' (Eq. 11),
         the concatenation of all attention heads.
+
+        The whole layer -- every head, target and history step -- is a
+        handful of einsums; ``tests/nn/test_equivalence_fused.py`` pins
+        it against the per-head reference loop in
+        :mod:`repro.nn.reference`.
         """
         z, n = targets.shape[0], targets.shape[1]
-        heads, head_dim = self.num_heads, self.head_dim
-        transformed_targets = (targets @ self.phi1.T).reshape(z, n, heads, head_dim)
-        transformed_contrib = (contributors @ self.phi1.T).reshape(
-            z, n, CONTRIBUTORS, heads, head_dim)
-        # Per-head scalar scores: dot each head block with its phi_2 half.
-        score_target = (transformed_targets * self.attn_src).sum(axis=-1)  # (z, n, K)
-        score_contrib = (transformed_contrib * self.attn_dst).sum(axis=-1)  # (z, n, 7, K)
-        scores = score_target.reshape(z, n, 1, heads) + score_contrib
-        scores = scores.leaky_relu(self.negative_slope)
-        # Padding mask: zero-padded slots (all-zero feature vectors, the
-        # surroundings of phantom targets) must not receive attention.
-        padding = (np.abs(contributors.data).sum(axis=-1) == 0.0)
-        if padding.any():
-            scores = scores + nn.Tensor(
-                np.where(padding, -1e9, 0.0)[:, :, :, None])
-        alpha = scores.softmax(axis=2)                                      # Eq. 10
+        alpha = self.attention_weights(targets, contributors)  # (z, n, 7, K)
         target_rows = targets.reshape(z, n, 1, targets.shape[-1])
         edges = contributors - target_rows                     # pairwise differences
-        values = (nn.concat([contributors, edges], axis=3) @ self.phi3.T).reshape(
-            z, n, CONTRIBUTORS, heads, head_dim)
-        weighted = values * alpha.reshape(z, n, CONTRIBUTORS, heads, 1)
-        return weighted.sum(axis=2).reshape(z, n, self.hidden_dim)  # Eq. 11
+        phi3_heads = self.phi3.reshape(self.num_heads, self.head_dim, -1)
+        # Contract the 7 contributors *before* expanding head features:
+        # sum_c alpha (phi3 [x||e]) = phi3 (sum_c alpha [x||e]), so the
+        # mixture runs on raw (z, n, 7, 2F) features and phi_3 is applied
+        # once to the (z, n, K, 2F) result -- no (z, n, 7, K, Dh) value
+        # tensor is ever built.
+        mixed = nn.einsum("znck,zncf->znkf",
+                          alpha, nn.concat([contributors, edges], axis=3))
+        weighted = nn.einsum("znkf,kdf->znkd", mixed, phi3_heads)
+        return weighted.reshape(z, n, self.hidden_dim)         # Eq. 11
 
 
 def _xavier(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
@@ -159,25 +186,10 @@ class LSTGAT(StatePredictor):
         slot 0 is the target's self-loop, slots 1..6 its surroundings
         C_{i.1}..C_{i.6}.  Rows sum to 1 (padding slots get ~0).
         """
-        attention = self.attention
         with nn.no_grad():
-            targets = nn.Tensor(graph.target_features)
-            contributors = nn.Tensor(graph.contributor_features)
-            z, n = targets.shape[0], targets.shape[1]
-            heads, head_dim = attention.num_heads, attention.head_dim
-            transformed_targets = (targets @ attention.phi1.T).reshape(
-                z, n, heads, head_dim)
-            transformed_contrib = (contributors @ attention.phi1.T).reshape(
-                z, n, CONTRIBUTORS, heads, head_dim)
-            score_target = (transformed_targets * attention.attn_src).sum(axis=-1)
-            score_contrib = (transformed_contrib * attention.attn_dst).sum(axis=-1)
-            scores = score_target.reshape(z, n, 1, heads) + score_contrib
-            scores = scores.leaky_relu(attention.negative_slope)
-            padding = (np.abs(contributors.data).sum(axis=-1) == 0.0)
-            if padding.any():
-                scores = scores + nn.Tensor(
-                    np.where(padding, -1e9, 0.0)[:, :, :, None])
-            alpha = scores.softmax(axis=2)
+            alpha = self.attention.attention_weights(
+                nn.Tensor(graph.target_features),
+                nn.Tensor(graph.contributor_features))
         return alpha.numpy().mean(axis=-1)
 
     # forward() kept as an alias so the model reads like the paper's Fig. 5.

@@ -39,5 +39,40 @@ class FakeTensor:
         self._backward = None
 
 
+def defvjp(name, *vjps):
+    """Stand-in for the VJP registry entry point."""
+
+
+defvjp("registered_op", lambda grad, out, ctx, x: grad)
+
+
+class FakeRegistryTensor(FakeTensor):
+    def good_registry_op(self, other):
+        out = self._make_child(self.data, (self, other))
+        if out.requires_grad:
+            out._op = "registered_op"
+        return out
+
+    def unregistered_name(self, other):
+        out = self._make_child(self.data, (self, other))
+        if out.requires_grad:
+            out._op = "never_registered"  # expect: tape-op-contract
+        return out
+
+    def computed_name(self, other, name):
+        out = self._make_child(self.data, (self, other))
+        if out.requires_grad:
+            out._op = name  # expect: tape-op-contract
+        return out
+
+    def unguarded_registry_op(self, other):
+        out = self._make_child(self.data, (self, other))
+        out._op = "registered_op"  # expect: tape-op-contract
+        return out
+
+    def clearing_op_is_fine(self):
+        self._op = None
+
+
 leaked = FakeTensor()
 leaked._backward = lambda grad: grad  # expect: tape-op-contract
