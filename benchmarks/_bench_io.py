@@ -15,7 +15,9 @@ so the methodology is uniform:
 
 from __future__ import annotations
 
+import hashlib
 import json
+import subprocess
 import time
 from pathlib import Path
 from typing import Callable
@@ -23,7 +25,7 @@ from typing import Callable
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 __all__ = ["REPO_ROOT", "bench_path", "write_bench", "best_of",
-           "interleaved_best"]
+           "interleaved_best", "git_sha", "config_hash"]
 
 
 def bench_path(name: str) -> Path:
@@ -31,10 +33,48 @@ def bench_path(name: str) -> Path:
     return REPO_ROOT / f"BENCH_{name}.json"
 
 
-def write_bench(name: str, payload: dict) -> Path:
-    """Write a benchmark result artifact and return its path."""
+def git_sha() -> str | None:
+    """The checked-out commit, or ``None`` outside a usable git checkout."""
+    try:
+        result = subprocess.run(["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+                                capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else None
+
+
+def config_hash(config: dict | None) -> str | None:
+    """Short stable digest of the benchmark's workload configuration.
+
+    Hashes the canonical (sorted-keys) JSON encoding, so two artifacts
+    are comparable iff their hashes match regardless of dict ordering.
+    ``None`` config -> ``None`` (a benchmark without a declared
+    workload is explicitly unstamped, not hashed-as-empty).
+    """
+    if config is None:
+        return None
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def write_bench(name: str, payload: dict, config: dict | None = None) -> Path:
+    """Write a benchmark result artifact and return its path.
+
+    Every artifact is stamped with provenance: the git commit it was
+    produced at (``git_sha``, null outside a checkout) and a digest of
+    the workload configuration (``config_hash``, null when the caller
+    declares none) -- so a ``BENCH_*.json`` number can always be traced
+    to the exact code and workload that produced it.
+    """
     path = bench_path(name)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    stamped = dict(payload)
+    stamped.setdefault("provenance", {})
+    stamped["provenance"] = {"git_sha": git_sha(),
+                             "config_hash": config_hash(config),
+                             **stamped["provenance"]}
+    path.write_text(json.dumps(stamped, indent=2) + "\n")
     return path
 
 

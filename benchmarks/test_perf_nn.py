@@ -133,10 +133,11 @@ def test_nn_engine_speedup():
         ops[name] = {"per_call_us": per_call * 1e6,
                      "calls_per_s": 1.0 / per_call}
 
+    workload = {"scenario": "lstgat_golden_trace", "history_steps": 5,
+                "targets": 6, "attention_dim": 64, "lstm_dim": 64,
+                "profile": profile_name, **profile}
     path = write_bench("nn", {
-        "workload": {"scenario": "lstgat_golden_trace", "history_steps": 5,
-                     "targets": 6, "attention_dim": 64, "lstm_dim": 64,
-                     "profile": profile_name, **profile},
+        "workload": workload,
         "equivalent": True,
         "fused_best_s_per_step": best["fused"],
         "legacy_best_s_per_step": best["legacy"],
@@ -145,7 +146,7 @@ def test_nn_engine_speedup():
         "speedup": speedup,
         "gate": SPEEDUP_GATE,
         "ops": ops,
-    })
+    }, config=workload)
     print(f"\nBENCH_nn: fused {best['fused'] * 1e3:.3f}ms/step "
           f"({1.0 / best['fused']:.0f} steps/s), legacy "
           f"{best['legacy'] * 1e3:.3f}ms/step, speedup {speedup:.2f}x "

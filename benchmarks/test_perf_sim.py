@@ -76,7 +76,7 @@ def test_vectorized_speedup():
         "scalar_times_s": scalar_times,
         "vectorized_times_s": vector_times,
     }
-    path = write_bench("sim", result)
+    path = write_bench("sim", result, config=result["workload"])
     print(f"\nBENCH_sim: scalar {result['scalar_per_step_us']:.0f}us/step, "
           f"vectorized {result['vectorized_per_step_us']:.0f}us/step, "
           f"speedup {speedup:.2f}x -> {path.name}")

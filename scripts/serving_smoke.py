@@ -1,0 +1,109 @@
+"""CI smoke for the inference service: stall -> trip -> recover, in-process.
+
+Boots the server with a real (untrained) HEAD engine, stalls the first
+two batch handlers past the handler timeout, then lets the engine run
+clean.  Asserts the full resilience arc deterministically:
+
+1. the stalled batches are answered with typed safety-fallback actions
+   (no request hangs, none is dropped);
+2. the circuit breaker trips off FULL_HEAD;
+3. after the cooldown, half-open probes step the ladder back up to
+   FULL_HEAD;
+4. a final seeded load resolves every request, mostly at full quality.
+
+Exit code 0 iff every assertion holds.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/serving_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+
+import numpy as np
+
+from repro.core.config import HEADConfig
+from repro.core.head import HEAD
+from repro.serve import (BatchInferenceEngine, BatcherConfig, BreakerConfig,
+                         ClientConfig, InferenceServer, LoadProfile,
+                         ServeClient, ServerConfig, ServiceLevel,
+                         make_graph_pool, run_load)
+
+
+class StallFirstBatches:
+    """Deterministic chaos: stall the first N handler calls, then clean."""
+
+    def __init__(self, engine: BatchInferenceEngine, stalls: int,
+                 stall_seconds: float) -> None:
+        self.engine = engine
+        self.remaining = stalls
+        self.stall_seconds = stall_seconds
+        self.stalled = 0
+
+    def infer(self, graphs, level):
+        if self.remaining > 0:
+            self.remaining -= 1
+            self.stalled += 1
+            time.sleep(self.stall_seconds)
+        return self.engine.infer(graphs, level)
+
+
+async def main() -> int:
+    cfg = HEADConfig()
+    head = HEAD(cfg, rng=np.random.default_rng(0))
+    engine = StallFirstBatches(BatchInferenceEngine.from_head(head),
+                               stalls=2, stall_seconds=0.6)
+    server = InferenceServer(engine, ServerConfig(
+        batcher=BatcherConfig(max_batch=16, batch_window=0.002, capacity=128),
+        breaker=BreakerConfig(cooldown=0.25, min_events=8, probe_batches=2),
+        handler_timeout=0.15))
+    await server.start()
+    client = ServeClient(server, ClientConfig(timeout=2.0, max_attempts=2),
+                         seed=2)
+    pool = make_graph_pool(8, seed=1, history_steps=cfg.history_steps)
+
+    # Phase 1: load through the stalls.  Long deadlines so answers are
+    # typed degradations, not sheds.
+    report = await run_load(client, LoadProfile(
+        duration=1.0, rate=80.0, deadline_budget=2.0, seed=3), pool)
+    health = server.health_report()
+    assert engine.stalled == 2, f"expected 2 stalls, saw {engine.stalled}"
+    assert health.handler_failures_total >= 1, "stall never hit the timeout"
+    assert health.breaker_trips >= 1, "breaker did not trip under stalls"
+    assert report.answered == report.offered, (
+        f"hung/dropped requests: {report.verdict_counts()}")
+    print(f"phase 1: {report.offered} offered, trips={health.breaker_trips}, "
+          f"level={health.level.label}, verdicts={report.verdict_counts()}")
+
+    # Phase 2: the engine is clean now; keep a light load flowing so
+    # half-open probes run, and wait for recovery to FULL_HEAD.
+    recovered = False
+    for _ in range(20):
+        probe_report = await run_load(client, LoadProfile(
+            duration=0.25, rate=60.0, deadline_budget=2.0, seed=5), pool)
+        assert probe_report.answered == probe_report.offered
+        if server.breaker.level is ServiceLevel.FULL_HEAD:
+            recovered = True
+            break
+    health = server.health_report()
+    assert recovered, f"no recovery: level={health.level.label}"
+    assert health.breaker_recoveries >= 1
+    print(f"phase 2: recovered to {health.level.label} after "
+          f"{health.breaker_recoveries} recoveries")
+
+    # Phase 3: steady state back at full quality.
+    final = await run_load(client, LoadProfile(
+        duration=0.5, rate=80.0, deadline_budget=2.0, seed=7), pool)
+    counts = final.verdict_counts()
+    assert final.answered == final.offered
+    assert counts.get("ok", 0) > 0.9 * final.offered, counts
+    await server.stop()
+    print(f"phase 3: {counts.get('ok', 0)}/{final.offered} full-quality; "
+          "serving smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(asyncio.run(main()))

@@ -233,6 +233,94 @@ class BareExcept(Rule):
                     "name the exception type (or use `except Exception`)")
 
 
+def _imports_asyncio(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name.split(".")[0] == "asyncio" for alias in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module and node.module.split(".")[0] == "asyncio":
+                return True
+    return False
+
+
+@rule
+class UnsupervisedTask(Rule):
+    """Async work must be supervised: no orphan tasks, no unbounded waits.
+
+    Two failure modes this repository's serving layer cannot afford:
+
+    * **Fire-and-forget tasks** -- ``asyncio.create_task(...)`` /
+      ``ensure_future(...)`` used as a bare statement.  The returned
+      task is never awaited, so its exceptions vanish into the event
+      loop's default handler and the task itself may be garbage
+      collected mid-flight.  Keep a reference and await (or gather) it.
+    * **Unbounded awaits on external work** -- ``await x.get()`` /
+      ``reader.readline()`` / ``lock.acquire()`` and friends with no
+      timeout.  A peer that never answers then wedges the coroutine
+      forever; wrap the await in ``asyncio.wait_for(...)`` or an
+      ``async with asyncio.timeout(...)`` block.
+
+    Only files importing asyncio are inspected.
+    """
+
+    id = "unsupervised-task"
+    summary = "fire-and-forget asyncio task or unbounded await on external work"
+
+    _SPAWNERS = frozenset({"create_task", "ensure_future"})
+    #: Methods that wait on a peer (queue, stream, socket, lock) and can
+    #: therefore block forever if the peer misbehaves.
+    _WAIT_METHODS = frozenset({
+        "get", "put", "join", "wait", "acquire", "drain", "readline",
+        "readexactly", "readuntil", "recv", "recv_into", "accept",
+    })
+
+    @staticmethod
+    def _call_name(call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    @staticmethod
+    def _inside_timeout_block(ctx: LintContext, node: ast.AST) -> bool:
+        for parent in ctx.ancestors(node):
+            if not isinstance(parent, ast.AsyncWith):
+                continue
+            for item in parent.items:
+                expr = item.context_expr
+                func = expr.func if isinstance(expr, ast.Call) else expr
+                name = (func.id if isinstance(func, ast.Name)
+                        else func.attr if isinstance(func, ast.Attribute)
+                        else None)
+                if name in ("timeout", "timeout_at"):
+                    return True
+        return False
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        if not _imports_asyncio(ctx.tree):
+            return
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)
+                    and self._call_name(node.value) in self._SPAWNERS):
+                yield ctx.finding(
+                    self.id, node,
+                    f"{self._call_name(node.value)}(...) result is discarded; "
+                    "the task is unsupervised -- exceptions vanish and the "
+                    "task may be garbage collected. Keep a reference and "
+                    "await/gather it")
+            elif isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+                name = self._call_name(node.value)
+                if name in self._WAIT_METHODS and not self._inside_timeout_block(ctx, node):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"await {name}(...) has no timeout and can block "
+                        "forever; wrap it in asyncio.wait_for(...) or an "
+                        "`async with asyncio.timeout(...)` block")
+
+
 def _is_no_grad_with(node: ast.With) -> bool:
     for item in node.items:
         expr = item.context_expr

@@ -98,6 +98,44 @@ def build_parser() -> argparse.ArgumentParser:
     drive.add_argument("--every", type=int, default=5,
                        help="render every N-th step")
 
+    serve = commands.add_parser(
+        "serve", help="run the HEAD inference service on a TCP port")
+    serve.add_argument("--checkpoint", default=None)
+    serve.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8477)
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--batch-window-ms", type=float, default=5.0)
+    serve.add_argument("--capacity", type=int, default=256,
+                       help="admission queue bound (backpressure beyond it)")
+    serve.add_argument("--handler-timeout", type=float, default=2.0)
+    serve.add_argument("--default-deadline-ms", type=float, default=None,
+                       help="implicit per-request deadline when the client "
+                            "sends none")
+
+    loadgen = commands.add_parser(
+        "loadgen", help="seeded open-loop load against an in-process server")
+    loadgen.add_argument("--checkpoint", default=None)
+    loadgen.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    loadgen.add_argument("--duration", type=float, default=2.0)
+    loadgen.add_argument("--rate", type=float, default=200.0,
+                         help="mean Poisson arrivals per second")
+    loadgen.add_argument("--burst-rate", type=float, default=0.0,
+                         help="extra rate during periodic bursts")
+    loadgen.add_argument("--deadline-ms", type=float, default=250.0)
+    loadgen.add_argument("--poison-fraction", type=float, default=0.0,
+                         help="fraction of requests with NaN-poisoned graphs")
+    loadgen.add_argument("--stall-rate", type=float, default=0.0,
+                         help="per-batch probability of an injected handler "
+                              "stall (chaos)")
+    loadgen.add_argument("--batch-window-ms", type=float, default=5.0)
+    loadgen.add_argument("--max-batch", type=int, default=32)
+    loadgen.add_argument("--capacity", type=int, default=256)
+    loadgen.add_argument("--handler-timeout", type=float, default=0.5)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--out", default=None,
+                         help="write the load report as JSON to this file")
+
     lint = commands.add_parser(
         "lint", help="run the reprolint static analyzer")
     lint.add_argument("paths", nargs="*", default=["src", "tests"],
@@ -216,6 +254,114 @@ def cmd_drive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_engine(args: argparse.Namespace):
+    from .serve import BatchInferenceEngine
+
+    head = _make_head(args.scale, 0, args.checkpoint)
+    return BatchInferenceEngine.from_head(head)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import (BatcherConfig, InferenceServer, ServerConfig,
+                        TcpTransport)
+
+    engine = _make_engine(args)
+    config = ServerConfig(
+        batcher=BatcherConfig(max_batch=args.max_batch,
+                              batch_window=args.batch_window_ms / 1e3,
+                              capacity=args.capacity),
+        handler_timeout=args.handler_timeout,
+        default_deadline=(None if args.default_deadline_ms is None
+                          else args.default_deadline_ms / 1e3))
+
+    async def run() -> None:
+        server = InferenceServer(engine, config)
+        await server.start()
+        transport = TcpTransport(server, host=args.host, port=args.port)
+        await transport.start()
+        print(f"serving HEAD on {args.host}:{transport.port} "
+              f"(max_batch={args.max_batch}, "
+              f"window={args.batch_window_ms:.1f}ms, "
+              f"capacity={args.capacity})")
+        try:
+            await transport.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await transport.stop()
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nserver stopped")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .faults.service import FaultyEngine, ServiceFaultSchedule
+    from .serve import (BatcherConfig, ClientConfig, InferenceServer,
+                        LoadProfile, ServeClient, ServerConfig,
+                        make_graph_pool, run_load)
+
+    engine = _make_engine(args)
+    if args.stall_rate > 0.0:
+        engine = FaultyEngine(engine, ServiceFaultSchedule(
+            stall_rate=args.stall_rate,
+            stall_seconds=2.0 * args.handler_timeout, seed=args.seed))
+    config = ServerConfig(
+        batcher=BatcherConfig(max_batch=args.max_batch,
+                              batch_window=args.batch_window_ms / 1e3,
+                              capacity=args.capacity),
+        handler_timeout=args.handler_timeout)
+    profile = LoadProfile(duration=args.duration, rate=args.rate,
+                          burst_rate=args.burst_rate,
+                          deadline_budget=args.deadline_ms / 1e3,
+                          poison_fraction=args.poison_fraction,
+                          seed=args.seed)
+    pool = make_graph_pool(16, seed=args.seed + 1)
+
+    async def run():
+        server = InferenceServer(engine, config)
+        await server.start()
+        client = ServeClient(server, ClientConfig(), seed=args.seed + 2)
+        report = await run_load(client, profile, pool)
+        await server.stop()
+        return report, server.health_report()
+
+    report, health = asyncio.run(run())
+    summary = {
+        "offered": report.offered,
+        "answered": report.answered,
+        "shed": report.shed,
+        "verdicts": report.verdict_counts(),
+        "p50_latency_ms": report.latency_quantile(0.5) * 1e3,
+        "p99_latency_ms": report.latency_quantile(0.99) * 1e3,
+        "breaker_trips": health.breaker_trips,
+        "breaker_recoveries": health.breaker_recoveries,
+        "final_level": health.level.label,
+        "handler_failures": health.handler_failures_total,
+    }
+    print(f"offered {summary['offered']}, answered {summary['answered']}, "
+          f"shed {summary['shed']}")
+    print(f"p50 {summary['p50_latency_ms']:.1f}ms, "
+          f"p99 {summary['p99_latency_ms']:.1f}ms")
+    print(f"breaker: {summary['breaker_trips']} trips, "
+          f"{summary['breaker_recoveries']} recoveries, "
+          f"final level {summary['final_level']}")
+    print(f"verdicts: {summary['verdicts']}")
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import RULES, lint_paths
 
@@ -258,6 +404,8 @@ COMMANDS = {
     "evaluate": cmd_evaluate,
     "degradation": cmd_degradation,
     "drive": cmd_drive,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
     "lint": cmd_lint,
     "info": cmd_info,
 }

@@ -18,7 +18,8 @@ from ..perception.module import PerceptionFrame
 from ..sim import constants
 
 __all__ = ["LaneBehavior", "ParameterizedAction", "AugmentedState",
-           "build_augmented_state", "CURRENT_SHAPE", "FUTURE_SHAPE"]
+           "build_augmented_state", "augmented_state_from_graph",
+           "CURRENT_SHAPE", "FUTURE_SHAPE"]
 
 #: Shape of the current-state half h^t: ego + six targets, 4 features each.
 CURRENT_SHAPE = (7, 4)
@@ -92,12 +93,22 @@ def build_augmented_state(frame: PerceptionFrame) -> AugmentedState:
     physical-unit outputs (rescaled to feature space) with each target's
     phantom indicator.
     """
-    graph = frame.graph
+    return augmented_state_from_graph(frame.graph, frame.prediction)
+
+
+def augmented_state_from_graph(graph, prediction: np.ndarray) -> AugmentedState:
+    """Assemble s_+^t from a graph plus a (6, 3) physical-unit prediction.
+
+    Decoupled from :class:`PerceptionFrame` so batched consumers -- the
+    inference server pairs one stacked LST-GAT forward with per-request
+    graph slices -- can build states without materializing frames.
+    Bit-identical to the :func:`build_augmented_state` path.
+    """
     current = np.zeros(CURRENT_SHAPE)
     current[0] = graph.ego_features[-1, 0]
     current[1:] = graph.target_features[-1]
 
     indicators = graph.target_features[-1, :, 3:4]
-    future = np.concatenate([frame.prediction / OUTPUT_SCALE, indicators], axis=1)
+    future = np.concatenate([prediction / OUTPUT_SCALE, indicators], axis=1)
     return AugmentedState(current=current, future=future,
                           target_mask=graph.target_mask.copy())

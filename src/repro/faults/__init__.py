@@ -13,7 +13,10 @@ boundaries).  This package extends that to *operational* degradation:
   guard around any state predictor with the paper's own fallback
   ordering (constant velocity, then phantom-style zeros);
 * :mod:`repro.faults.checkpoint` -- atomic training checkpoints
-  (agent + optimizers + replay buffer + RNG) for crash-safe RL runs.
+  (agent + optimizers + replay buffer + RNG) for crash-safe RL runs;
+* :mod:`repro.faults.service` -- :class:`ServiceFaultSchedule` and
+  :class:`FaultyEngine`, chaos injection (slow/stalled handlers,
+  crashes, NaN storms, poisoned graphs) for the inference server.
 
 All fault randomness is drawn from a dedicated RNG stream, so a
 schedule with every rate at zero is bit-identical to no injection.
@@ -24,10 +27,13 @@ from .injector import FaultInjector, FaultLog, FaultySensor
 from .guard import GuardStats, PerceptionGuard
 from .checkpoint import (CheckpointError, latest_checkpoint, load_checkpoint,
                          save_checkpoint)
+from .service import (FaultyEngine, InjectedHandlerError,
+                      ServiceFaultSchedule, poison_graph)
 
 __all__ = [
     "FaultSchedule",
     "FaultInjector", "FaultLog", "FaultySensor",
     "GuardStats", "PerceptionGuard",
     "CheckpointError", "latest_checkpoint", "load_checkpoint", "save_checkpoint",
+    "ServiceFaultSchedule", "FaultyEngine", "InjectedHandlerError", "poison_graph",
 ]

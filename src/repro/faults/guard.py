@@ -72,6 +72,11 @@ class PerceptionGuard:
         self.stats = GuardStats()
         self.last_degraded = 0
         self.last_confidence = 1.0
+        #: Per-row validation mask of the last predict() call (True where
+        #: the fallback replaced the predictor's row).  Batched callers
+        #: (the inference server stacks many requests into one graph)
+        #: slice it to attribute degradation to individual requests.
+        self.last_bad_rows = np.zeros(0, dtype=bool)
 
     # ------------------------------------------------------------------
     # StatePredictor duck type
@@ -84,6 +89,7 @@ class PerceptionGuard:
             raw = np.full((graph.target_features.shape[1], 3), np.nan)
         bad = self._invalid_rows(raw)
         self.stats.frames += 1
+        self.last_bad_rows = bad
         self.last_degraded = int(bad.sum())
         self.last_confidence = 1.0 - self.last_degraded / max(len(bad), 1)
         if not bad.any():
@@ -99,6 +105,7 @@ class PerceptionGuard:
         self.stats = GuardStats()
         self.last_degraded = 0
         self.last_confidence = 1.0
+        self.last_bad_rows = np.zeros(0, dtype=bool)
 
     # ------------------------------------------------------------------
     # internals

@@ -1,0 +1,144 @@
+"""Service-level fault injection for the inference server (chaos harness).
+
+:mod:`repro.faults.schedule` perturbs what the AV *senses*; this module
+perturbs how the *service* behaves: slow or stalled batch handlers,
+latency spikes, and poisoned (non-finite) request graphs.  The same
+contract applies as everywhere in :mod:`repro.faults`: every fault
+process draws from a dedicated seeded RNG stream, and a schedule with
+all rates at zero is bit-identical to no injection at all.
+
+:class:`FaultyEngine` wraps a
+:class:`~repro.serve.engine.BatchInferenceEngine` -- it injects *inside*
+the executor call, exactly where a real model stall (lock contention,
+page faults, a wedged accelerator) would bite, so the server's
+``handler_timeout`` and circuit breaker are exercised for real.
+Poisoning is applied by :func:`poison_graph` on the client side of the
+queue, because corrupt inputs arrive from clients, not from the model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from ..perception.graph import SpatialTemporalGraph
+from ..seeding import resolve_rng
+
+__all__ = ["ServiceFaultSchedule", "FaultyEngine", "poison_graph"]
+
+
+@dataclass(frozen=True)
+class ServiceFaultSchedule:
+    """Per-batch fault probabilities for the serving path.
+
+    Attributes
+    ----------
+    slow_rate / slow_seconds:
+        Probability that a batch handler sleeps ``slow_seconds`` before
+        answering (a latency spike that should *not* trip the handler
+        timeout on its own).
+    stall_rate / stall_seconds:
+        Probability of a hard stall, sized to exceed the server's
+        ``handler_timeout`` so the breaker's failure path fires.
+    error_rate:
+        Probability the handler raises instead of answering.
+    nan_storm_rate:
+        Probability a batch's predictions are degraded wholesale (the
+        wrapped engine is bypassed and every request reports guard
+        fallback), emulating a diverged network.
+    """
+
+    slow_rate: float = 0.0
+    slow_seconds: float = 0.05
+    stall_rate: float = 0.0
+    stall_seconds: float = 5.0
+    error_rate: float = 0.0
+    nan_storm_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name.endswith("_rate") and not 0.0 <= value <= 1.0:
+                raise ValueError(f"{spec.name} must be a probability, got {value}")
+            if spec.name.endswith("_seconds") and value < 0.0:
+                raise ValueError(f"{spec.name} must be non-negative")
+
+    @property
+    def inert(self) -> bool:
+        return (self.slow_rate == self.stall_rate == self.error_rate
+                == self.nan_storm_rate == 0.0)
+
+
+class InjectedHandlerError(RuntimeError):
+    """Typed marker so tests can tell injected crashes from real bugs."""
+
+
+__all__.append("InjectedHandlerError")
+
+
+class FaultyEngine:
+    """Chaos wrapper around a batch inference engine.
+
+    Duck-types ``infer(graphs, level)``; the server cannot tell it from
+    the real engine, which is the point.
+    """
+
+    def __init__(self, engine, schedule: ServiceFaultSchedule,
+                 rng: np.random.Generator | None = None,
+                 sleep=time.sleep) -> None:
+        self.engine = engine
+        self.schedule = schedule
+        self.rng = resolve_rng(rng, schedule.seed)
+        self._sleep = sleep
+        self.injected = {"slow": 0, "stall": 0, "error": 0, "nan_storm": 0}
+
+    def infer(self, graphs, level):
+        from ..serve.types import ServiceLevel, Verdict
+
+        schedule = self.schedule
+        # The safety rung is pure numpy and never enters the executor --
+        # the fault processes model a stalled/diverged *model*, so they
+        # do not apply there (and must not: the server leans on this
+        # rung to answer a batch whose handler just failed).
+        if not schedule.inert and level is not ServiceLevel.SAFETY_FALLBACK:
+            # One draw per fault process per batch, in fixed order, so a
+            # given seed produces the same fault trace regardless of
+            # which rates are enabled.
+            draws = self.rng.random(4)
+            if draws[0] < schedule.stall_rate:
+                self.injected["stall"] += 1
+                self._sleep(schedule.stall_seconds)
+            elif draws[1] < schedule.slow_rate:
+                self.injected["slow"] += 1
+                self._sleep(schedule.slow_seconds)
+            if draws[2] < schedule.error_rate:
+                self.injected["error"] += 1
+                raise InjectedHandlerError("injected handler crash")
+            if draws[3] < schedule.nan_storm_rate:
+                self.injected["nan_storm"] += 1
+                results = self.engine.infer(graphs, level)
+                for result in results:
+                    result.verdict = Verdict.DEGRADED_PERCEPTION
+                    result.degraded_rows = max(result.degraded_rows, 1)
+                return results
+        return self.engine.infer(graphs, level)
+
+
+def poison_graph(graph: SpatialTemporalGraph) -> SpatialTemporalGraph:
+    """Return a copy of ``graph`` with NaN target features (a corrupt client).
+
+    The serving engine must quarantine such inputs before stacking; the
+    chaos suite submits poisoned graphs and asserts the neighbors in the
+    same micro-batch still get full-quality answers.
+    """
+    bad = graph.target_features.copy()
+    bad[-1, 0, :] = np.nan
+    return SpatialTemporalGraph(
+        target_features=bad,
+        contributor_features=graph.contributor_features.copy(),
+        ego_features=graph.ego_features.copy(),
+        target_mask=graph.target_mask.copy(),
+    )

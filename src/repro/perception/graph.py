@@ -24,7 +24,8 @@ from ..sim.vehicle import VehicleState
 from .neighbors import AREA_COUNT
 from .phantom import PerceivedScene, TrackKind, TrackedVehicle
 
-__all__ = ["SpatialTemporalGraph", "build_graph", "FEATURE_DIM", "CONTRIBUTORS",
+__all__ = ["SpatialTemporalGraph", "build_graph", "concat_graphs",
+           "split_rows", "FEATURE_DIM", "CONTRIBUTORS",
            "OUTPUT_SCALE", "RELATIVE_SCALE", "EGO_SCALE"]
 
 #: Node feature dimensionality (Eq. 7): d_lat, d_lon, v_rel, IF.
@@ -116,6 +117,47 @@ def build_graph(scene: PerceivedScene, road: Road) -> SpatialTemporalGraph:
                 node = scene.surroundings[(area, sub_area)]
                 contributors[step, area - 1, sub_area] = _feature(node, step, ego_state, road)
     return SpatialTemporalGraph(targets, contributors, mask, ego)
+
+
+def concat_graphs(graphs: list[SpatialTemporalGraph]) -> SpatialTemporalGraph:
+    """Stack many graphs along the target axis into one batched graph.
+
+    Every array of :class:`SpatialTemporalGraph` is indexed
+    ``(z, n, ...)`` with targets independent along ``n`` -- the GAT
+    attention normalizes per target and the LSTM runs one sequence per
+    target -- so K graphs of n targets each collate into a single
+    ``(z, K*n, ...)`` graph whose forward costs one network pass instead
+    of K.  This is the batched perception entry point the inference
+    server feeds; :func:`split_rows` undoes the stacking on the
+    ``(K*n, 3)`` prediction.
+
+    All graphs must share the history length ``z``.
+    """
+    if not graphs:
+        raise ValueError("concat_graphs needs at least one graph")
+    steps = {graph.history_steps for graph in graphs}
+    if len(steps) != 1:
+        raise ValueError(f"graphs disagree on history length: {sorted(steps)}")
+    if len(graphs) == 1:
+        return graphs[0]
+    return SpatialTemporalGraph(
+        np.concatenate([graph.target_features for graph in graphs], axis=1),
+        np.concatenate([graph.contributor_features for graph in graphs], axis=1),
+        np.concatenate([graph.target_mask for graph in graphs]),
+        np.concatenate([graph.ego_features for graph in graphs], axis=1),
+    )
+
+
+def split_rows(stacked: np.ndarray, counts: list[int]) -> list[np.ndarray]:
+    """Split a ``(sum(counts), ...)`` array back into per-graph blocks."""
+    if stacked.shape[0] != sum(counts):
+        raise ValueError(f"cannot split {stacked.shape[0]} rows into {counts}")
+    out = []
+    offset = 0
+    for count in counts:
+        out.append(stacked[offset:offset + count])
+        offset += count
+    return out
 
 
 def to_networkx(scene: PerceivedScene, road: Road, step: int = -1) -> nx.DiGraph:

@@ -75,6 +75,24 @@ class StatePredictor(nn.Module):
         with nn.no_grad():
             return self._prediction(graph).numpy() * OUTPUT_SCALE
 
+    def predict_many(self, graphs: list[SpatialTemporalGraph]) -> list[np.ndarray]:
+        """One batched forward over many graphs (physical units).
+
+        The graphs are collated along the target axis
+        (:func:`~repro.perception.graph.concat_graphs`), pushed through
+        :meth:`predict` as a single network pass, and the stacked
+        ``(sum(n_i), 3)`` output is split back per graph.  This is the
+        serving-path entry point: K concurrent requests cost one
+        attention + LSTM forward instead of K.
+        """
+        from .graph import concat_graphs, split_rows
+
+        if not graphs:
+            return []
+        stacked = self.predict(concat_graphs(graphs))
+        return split_rows(stacked,
+                          [graph.target_features.shape[1] for graph in graphs])
+
     def predict_normalized(self, graph: SpatialTemporalGraph) -> np.ndarray:
         """Batched inference in the scaled training space."""
         with nn.no_grad():

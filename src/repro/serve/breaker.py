@@ -1,0 +1,186 @@
+"""Circuit breaker stepping a degradation ladder, with half-open probes.
+
+Classic circuit breakers are binary (closed / open).  Serving HEAD
+offers something better than refusing to answer: the fault-injection
+layer already defines a *quality* ordering -- full perception+decision,
+then :class:`~repro.faults.guard.PerceptionGuard`-style constant
+velocity perception, then TTC-gated safety answers.  The breaker
+therefore trips *down a ladder* instead of opening outright: a
+guard-fallback/NaN storm or sustained deadline misses at level k move
+the server to level k+1, where answers stay typed and safe but cost
+less.  After a cooldown the breaker goes half-open: it serves a few
+probe batches one rung up, and steps back up only when the probes come
+back healthy -- the standard half-open recovery, applied per rung.
+
+The breaker is a pure state machine over an injected clock: feed it
+:class:`~repro.serve.types.BatchStats`, ask it :meth:`plan`.  No
+asyncio, no wall time in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from .types import BatchStats, ServiceLevel
+
+__all__ = ["BreakerConfig", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recover thresholds of the circuit breaker.
+
+    Attributes
+    ----------
+    window:
+        Rolling number of recent requests the trip fractions are
+        computed over.
+    min_events:
+        No trip decision before this many requests are in the window
+        (a single degraded request must not collapse the ladder).
+    degraded_trip_fraction:
+        Fraction of guard-fallback/poisoned requests that trips one rung
+        down (the "NaN storm" detector).
+    miss_trip_fraction:
+        Fraction of deadline-missed or expired-shed requests that trips
+        one rung down (the "sustained p99 deadline miss" detector:
+        above this fraction the tail latency target is unmeetable by
+        definition).
+    cooldown:
+        Seconds a rung stays open before a half-open probe is allowed.
+    probe_batches:
+        Consecutive healthy probe batches required to step back up.
+    probe_degraded_fraction:
+        Health bar a probe batch must clear to count as a success.
+    """
+
+    window: int = 64
+    min_events: int = 16
+    degraded_trip_fraction: float = 0.5
+    miss_trip_fraction: float = 0.5
+    cooldown: float = 1.0
+    probe_batches: int = 2
+    probe_degraded_fraction: float = 0.25
+
+
+class CircuitBreaker:
+    """Degradation-ladder breaker; single consumer (the server worker)."""
+
+    def __init__(self, config: BreakerConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config or BreakerConfig()
+        self.clock = clock
+        self.level = ServiceLevel.FULL_HEAD
+        self._opened_at: float | None = None   # set while level > FULL_HEAD
+        self._probes_ok = 0
+        self._samples: deque[BatchStats] = deque()
+        self._window_requests = 0
+        self.trips = 0
+        self.recoveries = 0
+        self.last_trip_reason = ""
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self) -> tuple[ServiceLevel, bool]:
+        """Level for the next batch, plus whether it is a half-open probe.
+
+        While tripped, once the cooldown has elapsed every batch is
+        served one rung *up* as a probe; :meth:`record` then decides
+        whether the probe streak earns a recovery or re-opens the rung.
+        """
+        if self.level is ServiceLevel.FULL_HEAD:
+            return self.level, False
+        assert self._opened_at is not None
+        if self.clock() - self._opened_at >= self.config.cooldown:
+            return ServiceLevel(self.level - 1), True
+        return self.level, False
+
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half-open`` (for health reporting)."""
+        if self.level is ServiceLevel.FULL_HEAD:
+            return "closed"
+        assert self._opened_at is not None
+        if self.clock() - self._opened_at >= self.config.cooldown:
+            return "half-open"
+        return "open"
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def record(self, stats: BatchStats, probe: bool = False) -> None:
+        """Fold one batch's outcome into the trip/recovery state."""
+        self._push(stats)
+        if probe:
+            self._judge_probe(stats)
+            return
+        if stats.handler_failure:
+            self._trip("handler stall/failure")
+            return
+        self._check_window()
+
+    def _push(self, stats: BatchStats) -> None:
+        self._samples.append(stats)
+        self._window_requests += stats.size + stats.shed_expired
+        while (self._window_requests - (self._samples[0].size
+                                        + self._samples[0].shed_expired)
+               >= self.config.window and len(self._samples) > 1):
+            dropped = self._samples.popleft()
+            self._window_requests -= dropped.size + dropped.shed_expired
+
+    def _check_window(self) -> None:
+        total = self._window_requests
+        if total < self.config.min_events:
+            return
+        degraded = sum(sample.degraded_requests for sample in self._samples)
+        missed = sum(sample.deadline_misses + sample.shed_expired
+                     for sample in self._samples)
+        if degraded / total >= self.config.degraded_trip_fraction:
+            self._trip(f"degraded fraction {degraded}/{total}")
+        elif missed / total >= self.config.miss_trip_fraction:
+            self._trip(f"deadline-miss fraction {missed}/{total}")
+
+    def _judge_probe(self, stats: BatchStats) -> None:
+        healthy = (not stats.handler_failure
+                   and stats.size > 0
+                   and stats.degraded_requests
+                   <= self.config.probe_degraded_fraction * stats.size
+                   and stats.deadline_misses
+                   <= self.config.probe_degraded_fraction * stats.size)
+        if not healthy:
+            # Probe failed: stay on the current rung, restart cooldown.
+            self._probes_ok = 0
+            self._opened_at = self.clock()
+            return
+        self._probes_ok += 1
+        if self._probes_ok >= self.config.probe_batches:
+            self.level = ServiceLevel(self.level - 1)
+            self.recoveries += 1
+            self._probes_ok = 0
+            self._samples.clear()
+            self._window_requests = 0
+            if self.level is ServiceLevel.FULL_HEAD:
+                self._opened_at = None
+            else:
+                # Still below full service: next rung gets its own
+                # cooldown before probing continues upward.
+                self._opened_at = self.clock()
+
+    def _trip(self, reason: str) -> None:
+        if self.level is ServiceLevel.SAFETY_FALLBACK:
+            # Bottom rung: nothing further to shed quality from; just
+            # restart the cooldown so probes stay spaced out.
+            self._opened_at = self.clock()
+            self._probes_ok = 0
+            return
+        self.level = ServiceLevel(self.level + 1)
+        self.trips += 1
+        self.last_trip_reason = reason
+        self._opened_at = self.clock()
+        self._probes_ok = 0
+        self._samples.clear()
+        self._window_requests = 0

@@ -1,0 +1,139 @@
+"""Retrying client for the inference server: timeouts, backoff, budget.
+
+A client that retries naively *amplifies* overload: when the server
+sheds, every client immediately resubmitting doubles the offered load
+exactly when capacity is scarcest.  This client applies the three
+standard correctives:
+
+* a per-attempt **timeout** so a lost answer never blocks the caller;
+* **jittered exponential backoff** (seeded through the repo's central
+  RNG policy, so chaos runs replay bit-identically) that also honors
+  the server's ``retry_after`` hint -- whichever is later;
+* a **retry budget**: retries may only consume a bounded fraction of
+  total traffic, so a broken server sees at most ``1 + budget`` times
+  the organic load instead of ``max_attempts`` times.
+
+The client only retries verdicts the server marks retryable; degraded
+answers are still answers and are returned as-is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..seeding import resolve_rng
+from .server import InferenceServer
+from .types import InferenceResponse, Verdict
+
+__all__ = ["ClientConfig", "RetryBudget", "ServeClient"]
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Retry discipline of one client."""
+
+    #: Per-attempt bound on waiting for the server's answer, seconds.
+    timeout: float = 0.5
+    #: Total attempts (first try + retries).
+    max_attempts: int = 3
+    backoff_base: float = 0.02
+    backoff_factor: float = 2.0
+    backoff_max: float = 0.5
+    #: Fraction of each backoff delay that is uniformly random.
+    jitter: float = 0.5
+    #: Retries allowed per organic request (token-bucket refill rate).
+    retry_budget: float = 0.2
+    #: Bucket burst capacity, in retry tokens.
+    retry_burst: float = 10.0
+
+
+class RetryBudget:
+    """Token bucket: each first attempt refills ``rate`` retry tokens."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self.denied = 0
+
+    def note_request(self) -> None:
+        self._tokens = min(self.burst, self._tokens + self.rate)
+
+    def try_spend(self) -> bool:
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        self.denied += 1
+        return False
+
+
+class ServeClient:
+    """Asyncio client wrapping :class:`InferenceServer` submissions."""
+
+    def __init__(self, server: InferenceServer,
+                 config: ClientConfig | None = None,
+                 rng: np.random.Generator | None = None,
+                 seed: int | None = None,
+                 sleep: Callable[[float], "asyncio.Future"] | None = None) -> None:
+        self.server = server
+        self.config = config or ClientConfig()
+        self.rng = resolve_rng(rng, seed)
+        self._sleep = sleep or asyncio.sleep
+        self.budget = RetryBudget(self.config.retry_budget,
+                                  self.config.retry_burst)
+        self.attempts_total = 0
+        self.retries_total = 0
+        self.timeouts_total = 0
+
+    async def infer(self, graph, deadline_budget: float | None = None
+                    ) -> InferenceResponse:
+        """Submit one graph, retrying within budget; always returns.
+
+        ``deadline_budget`` is the client's *total* time allowance in
+        seconds; the absolute deadline it implies is fixed at the first
+        attempt and shared by every retry, so retries never extend how
+        stale an answer may be.
+        """
+        config = self.config
+        self.budget.note_request()
+        deadline = (None if deadline_budget is None
+                    else self.server.clock() + deadline_budget)
+        response: InferenceResponse | None = None
+        for attempt in range(1, config.max_attempts + 1):
+            self.attempts_total += 1
+            future = self.server.submit_nowait(graph, deadline=deadline)
+            try:
+                response = await asyncio.wait_for(future, timeout=config.timeout)
+            except asyncio.TimeoutError:
+                self.timeouts_total += 1
+                response = InferenceResponse(
+                    request_id="timeout", verdict=Verdict.CLIENT_TIMEOUT,
+                    latency=config.timeout,
+                    detail=f"attempt {attempt} exceeded {config.timeout:.3f}s")
+            if not response.verdict.retryable or attempt == config.max_attempts:
+                break
+            if deadline is not None and self.server.clock() >= deadline:
+                break
+            if not self.budget.try_spend():
+                break
+            self.retries_total += 1
+            await self._sleep(self._delay(attempt, response.retry_after))
+        assert response is not None
+        response.attempts = attempt
+        return response
+
+    def _delay(self, attempt: int, retry_after: float | None) -> float:
+        base = min(self.config.backoff_max,
+                   self.config.backoff_base
+                   * self.config.backoff_factor ** (attempt - 1))
+        jittered = base * (1.0 - self.config.jitter
+                           + self.config.jitter * float(self.rng.random()))
+        if retry_after is not None:
+            # The server's drain estimate is a floor, not a cap: backing
+            # off less than it would just earn another rejection.
+            jittered = max(jittered, retry_after)
+        return jittered

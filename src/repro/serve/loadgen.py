@@ -1,0 +1,156 @@
+"""Seeded open-loop load generation and invariant checking.
+
+The chaos harness and the capacity benchmark both need the same thing:
+a reproducible stream of inference requests whose arrival process does
+*not* slow down when the server does (open-loop load, the regime where
+overload actually happens), plus an audit that every single offered
+request came back as an action or a typed verdict.
+
+Arrival times are precomputed from a dedicated seeded RNG -- a Poisson
+process whose rate is modulated by periodic bursts -- so two runs with
+the same profile offer byte-identical schedules.  Graphs come from a
+seeded synthetic pool with physically plausible scaled features
+(including closing front vehicles, so the safety rung's TTC gate sees
+real decisions).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..perception.graph import CONTRIBUTORS, FEATURE_DIM, SpatialTemporalGraph
+from ..seeding import resolve_rng
+from .client import ServeClient
+from .types import InferenceResponse, Verdict
+
+__all__ = ["LoadProfile", "LoadReport", "make_graph_pool", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """One offered-load scenario (all randomness derives from ``seed``)."""
+
+    duration: float = 2.0
+    #: Mean Poisson arrival rate, requests per second.
+    rate: float = 200.0
+    #: Extra rate added during bursts (0 disables bursts).
+    burst_rate: float = 0.0
+    burst_every: float = 0.5
+    burst_length: float = 0.1
+    #: Per-request total time allowance handed to the client (seconds).
+    deadline_budget: float | None = 0.25
+    #: Fraction of requests submitted with NaN-poisoned graphs.
+    poison_fraction: float = 0.0
+    seed: int = 0
+
+
+def arrival_times(profile: LoadProfile,
+                  rng: np.random.Generator) -> list[float]:
+    """Offsets (seconds from start) of every arrival in the run."""
+    times: list[float] = []
+    now = 0.0
+    while True:
+        in_burst = (profile.burst_rate > 0.0
+                    and now % profile.burst_every < profile.burst_length)
+        rate = profile.rate + (profile.burst_rate if in_burst else 0.0)
+        now += float(rng.exponential(1.0 / rate))
+        if now >= profile.duration:
+            return times
+        times.append(now)
+
+
+def make_graph_pool(size: int, rng: np.random.Generator | None = None,
+                    seed: int | None = None,
+                    history_steps: int = 5) -> list[SpatialTemporalGraph]:
+    """Plausible scaled graphs: targets within sensor range, fronts closing."""
+    rng = resolve_rng(rng, seed)
+    pool = []
+    for _ in range(size):
+        z, n = history_steps, 6
+        targets = rng.uniform(-0.5, 0.5, size=(z, n, FEATURE_DIM))
+        targets[..., 3] = (rng.random((z, n)) < 0.2).astype(float)
+        # Front target (area 2, row 1): positive gap, closing half the time.
+        targets[:, 1, 1] = rng.uniform(0.1, 0.6)
+        targets[:, 1, 2] = rng.uniform(-0.4, 0.2)
+        contributors = rng.uniform(-0.5, 0.5,
+                                   size=(z, n, CONTRIBUTORS, FEATURE_DIM))
+        ego = np.tile(
+            np.array([rng.uniform(0, 0.5), rng.uniform(0, 0.3),
+                      rng.uniform(0.3, 1.0), 0.0])[None, None, :], (z, n, 1))
+        mask = (rng.random(n) < 0.8).astype(float)
+        mask[1] = 1.0
+        pool.append(SpatialTemporalGraph(targets, contributors, mask, ego))
+    return pool
+
+
+@dataclass
+class LoadReport:
+    """Outcome audit of one load run."""
+
+    offered: int = 0
+    responses: list[InferenceResponse] = field(default_factory=list)
+
+    def verdict_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for response in self.responses:
+            counts[response.verdict.value] = counts.get(response.verdict.value, 0) + 1
+        return counts
+
+    @property
+    def answered(self) -> int:
+        return sum(1 for r in self.responses if r.verdict.has_action)
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for r in self.responses
+                   if r.verdict.is_shed or r.verdict is Verdict.CLIENT_TIMEOUT)
+
+    def latency_quantile(self, q: float) -> float:
+        latencies = sorted(r.latency for r in self.responses
+                           if r.verdict.has_action)
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on any silent drop or untyped outcome."""
+        assert len(self.responses) == self.offered, (
+            f"silent drop: offered {self.offered}, resolved {len(self.responses)}")
+        for response in self.responses:
+            assert response.verdict.has_action or response.action is None
+            assert isinstance(response.verdict, Verdict)
+
+
+async def run_load(client: ServeClient, profile: LoadProfile,
+                   pool: list[SpatialTemporalGraph] | None = None) -> LoadReport:
+    """Offer the profile's schedule through ``client``; audit every outcome."""
+    from ..faults.service import poison_graph
+
+    rng = resolve_rng(None, profile.seed)
+    schedule = arrival_times(profile, rng)
+    if pool is None:
+        pool = make_graph_pool(16, rng)
+    picks = rng.integers(0, len(pool), size=len(schedule))
+    poisoned = rng.random(len(schedule)) < profile.poison_fraction
+
+    report = LoadReport(offered=len(schedule))
+    clock = client.server.clock
+    start = clock()
+    tasks: list[asyncio.Task] = []
+    for offset, pick, poison in zip(schedule, picks, poisoned):
+        delay = start + offset - clock()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        graph = pool[int(pick)]
+        if poison:
+            graph = poison_graph(graph)
+        tasks.append(asyncio.create_task(
+            client.infer(graph, deadline_budget=profile.deadline_budget)))
+    # The gather IS the no-silent-drop proof: every offered request's
+    # task must resolve to a typed response, or this raises.
+    report.responses = list(await asyncio.gather(*tasks))
+    report.check_invariants()
+    return report

@@ -1,0 +1,152 @@
+"""Newline-delimited JSON over TCP: the service edge of the server.
+
+One line in, one line out.  Requests are JSON objects with an ``op``:
+
+* ``{"op": "infer", "graph": {...}, "deadline_ms": 250}`` -- answer one
+  graph; the response line is :meth:`InferenceResponse.to_wire`.
+* ``{"op": "health"}`` -- the :class:`HealthReport` wire dict.
+
+Graphs cross the wire as nested lists (``encode_graph`` /
+``decode_graph``); float64 round-trips exactly through JSON's decimal
+encoding for the magnitudes involved, so wire transport does not
+perturb numerics.  Malformed lines get a typed ``error`` response
+instead of a dropped connection -- the no-silent-drop invariant holds
+at the edge too.  Idle connections are closed after ``idle_timeout``
+so abandoned sockets cannot pin the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from ..perception.graph import SpatialTemporalGraph
+from .server import InferenceServer
+
+__all__ = ["encode_graph", "decode_graph", "TcpTransport", "TcpClient"]
+
+_MAX_LINE = 2 ** 22  # 4 MiB: far above any paper-scale graph line
+
+
+def encode_graph(graph: SpatialTemporalGraph) -> dict:
+    return {"target_features": graph.target_features.tolist(),
+            "contributor_features": graph.contributor_features.tolist(),
+            "target_mask": graph.target_mask.tolist(),
+            "ego_features": graph.ego_features.tolist()}
+
+
+def decode_graph(payload: dict) -> SpatialTemporalGraph:
+    return SpatialTemporalGraph(
+        target_features=np.asarray(payload["target_features"], dtype=np.float64),
+        contributor_features=np.asarray(payload["contributor_features"],
+                                        dtype=np.float64),
+        target_mask=np.asarray(payload["target_mask"], dtype=np.float64),
+        ego_features=np.asarray(payload["ego_features"], dtype=np.float64))
+
+
+class TcpTransport:
+    """Serves an :class:`InferenceServer` on a TCP port."""
+
+    def __init__(self, server: InferenceServer, host: str = "127.0.0.1",
+                 port: int = 8477, idle_timeout: float = 30.0) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self.idle_timeout = idle_timeout
+        self._tcp: asyncio.Server | None = None
+
+    async def start(self) -> None:
+        self._tcp = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=_MAX_LINE)
+        sockets = self._tcp.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            self._tcp = None
+
+    async def serve_forever(self) -> None:
+        assert self._tcp is not None, "call start() first"
+        await self._tcp.serve_forever()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await asyncio.wait_for(reader.readline(),
+                                                  timeout=self.idle_timeout)
+                except asyncio.TimeoutError:
+                    break
+                if not line:
+                    break
+                reply = await self._dispatch(line)
+                writer.write(json.dumps(reply).encode() + b"\n")
+                await asyncio.wait_for(writer.drain(), timeout=self.idle_timeout)
+        finally:
+            writer.close()
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            message = json.loads(line)
+            op = message.get("op")
+            if op == "health":
+                return self.server.health_report().to_wire()
+            if op == "infer":
+                deadline_ms = message.get("deadline_ms")
+                deadline = (None if deadline_ms is None
+                            else self.server.clock() + deadline_ms / 1e3)
+                response = await self.server.submit(
+                    decode_graph(message["graph"]), deadline=deadline)
+                return response.to_wire()
+            return {"verdict": "error", "detail": f"unknown op {op!r}"}
+        except Exception as error:
+            return {"verdict": "error",
+                    "detail": f"{type(error).__name__}: {error}"}
+
+
+class TcpClient:
+    """Minimal persistent-connection client for the TCP transport."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8477,
+                 timeout: float = 5.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port, limit=_MAX_LINE),
+            timeout=self.timeout)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._reader = self._writer = None
+
+    async def request(self, message: dict) -> dict:
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(json.dumps(message).encode() + b"\n")
+        await asyncio.wait_for(self._writer.drain(), timeout=self.timeout)
+        line = await asyncio.wait_for(self._reader.readline(),
+                                      timeout=self.timeout)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    async def infer(self, graph: SpatialTemporalGraph,
+                    deadline_ms: float | None = None) -> dict:
+        message: dict = {"op": "infer", "graph": encode_graph(graph)}
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        return await self.request(message)
+
+    async def health(self) -> dict:
+        return await self.request({"op": "health"})

@@ -1,0 +1,28 @@
+"""Fixture: fire-and-forget tasks and unbounded awaits on external work."""
+
+import asyncio
+
+
+async def worker():
+    return None
+
+
+async def fire_and_forget(loop):
+    asyncio.create_task(worker())  # expect: unsupervised-task
+    asyncio.ensure_future(worker())  # expect: unsupervised-task
+    loop.create_task(worker())  # expect: unsupervised-task
+
+
+async def unbounded_waits(queue, reader, lock):
+    await queue.get()  # expect: unsupervised-task
+    await reader.readline()  # expect: unsupervised-task
+    await lock.acquire()  # expect: unsupervised-task
+
+
+async def supervised(queue, reader):
+    task = asyncio.create_task(worker())
+    await asyncio.wait_for(queue.get(), timeout=1.0)
+    async with asyncio.timeout(0.5):
+        await reader.readline()
+    await task
+    await asyncio.sleep(0.0)

@@ -33,6 +33,7 @@ MARKER_FIXTURES = [
     "bad_bare_except.py",
     "bad_missing_no_grad.py",
     "bad_tape_contract.py",
+    "bad_unsupervised_task.py",
     "suppressed.py",
 ]
 
@@ -120,6 +121,7 @@ def test_rule_registry_is_complete():
     assert set(RULES) == {
         "unseeded-rng", "rng-fallback", "naked-float-eq", "mutable-default",
         "bare-except", "missing-no-grad", "tape-op-contract",
+        "unsupervised-task",
     }
     for rule_id, lint_rule in RULES.items():
         assert lint_rule.id == rule_id

@@ -1,0 +1,135 @@
+"""PhantomCache: bit-identical equivalence, LRU bound, stats, disable."""
+
+import numpy as np
+import pytest
+
+from repro.perception import ObservationBuffer, build_scene
+from repro.perception.phantom import PHANTOM_CACHE, PhantomCache
+from repro.sim import Road, VehicleState
+
+Z = 5
+R = 100.0
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    PHANTOM_CACHE.clear()
+    PHANTOM_CACHE.enabled = True
+    yield
+    PHANTOM_CACHE.clear()
+    PHANTOM_CACHE.enabled = True
+
+
+def state(lane, lon, v=10.0):
+    return VehicleState(lat=lane, lon=lon, v=v)
+
+
+def make_buffer(observed):
+    buffer = ObservationBuffer(history_steps=Z)
+    for _ in range(Z):
+        buffer.update(observed)
+    return buffer
+
+
+def build(road, lon=5000.0, observed=None):
+    ego = [state(3, lon)] * Z
+    return build_scene("ego", ego, make_buffer(observed or {}), road,
+                       detection_range=R)
+
+
+def scenes_equal(a, b):
+    assert set(a.targets) == set(b.targets)
+    for area in a.targets:
+        ta, tb = a.targets[area], b.targets[area]
+        assert ta.kind is tb.kind
+        assert ta.history == tb.history  # VehicleState is frozen: exact
+    assert set(a.surroundings) == set(b.surroundings)
+    for key in a.surroundings:
+        sa, sb = a.surroundings[key], b.surroundings[key]
+        assert sa.kind is sb.kind
+        assert sa.history == sb.history
+
+
+def test_cached_scene_is_bit_identical_to_uncached():
+    road = Road(length=100000.0)
+    PHANTOM_CACHE.enabled = False
+    uncached = build(road)
+    PHANTOM_CACHE.enabled = True
+    cold = build(road)   # populates the cache
+    warm = build(road)   # served from it
+    assert PHANTOM_CACHE.hits > 0
+    scenes_equal(uncached, cold)
+    scenes_equal(uncached, warm)
+
+
+def test_repeat_scene_hits_not_misses():
+    road = Road(length=100000.0)
+    build(road)
+    first = PHANTOM_CACHE.stats()
+    assert first["misses"] > 0
+    build(road)
+    second = PHANTOM_CACHE.stats()
+    assert second["misses"] == first["misses"]
+    assert second["hits"] >= first["misses"]
+
+
+def test_distinct_keys_do_not_collide():
+    road = Road(length=100000.0)
+    a = build(road, lon=5000.0)
+    b = build(road, lon=6000.0)
+    front_a = a.targets[2].current
+    front_b = b.targets[2].current
+    assert front_a.lon != front_b.lon  # phantoms track their reference
+
+
+def test_lru_bound_is_enforced():
+    cache = PhantomCache(maxsize=4)
+    road = Road(length=100000.0)
+    for index in range(10):
+        cache.build_missing([state(3, 1000.0 * (index + 1))] * Z, 2, road, R)
+    assert len(cache) == 4
+    assert cache.stats()["entries"] == 4
+    # Least-recent key was evicted: re-asking it is a miss, not a hit.
+    misses = cache.misses
+    cache.build_missing([state(3, 1000.0)] * Z, 2, road, R)
+    assert cache.misses == misses + 1
+
+
+def test_recency_refresh_protects_hot_keys():
+    cache = PhantomCache(maxsize=2)
+    road = Road(length=100000.0)
+    hot = [state(3, 1000.0)] * Z
+    cache.build_missing(hot, 2, road, R)
+    cache.build_missing([state(3, 2000.0)] * Z, 2, road, R)
+    cache.build_missing(hot, 2, road, R)          # refresh hot
+    cache.build_missing([state(3, 3000.0)] * Z, 2, road, R)  # evicts 2000
+    hits = cache.hits
+    cache.build_missing(hot, 2, road, R)
+    assert cache.hits == hits + 1
+
+
+def test_disabled_cache_stores_nothing():
+    cache = PhantomCache(enabled=False)
+    road = Road(length=100000.0)
+    node = cache.build_missing([state(3, 1000.0)] * Z, 2, road, R)
+    assert len(cache) == 0
+    assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+    assert np.isfinite(node.current.lon)
+
+
+def test_returned_histories_are_independent_lists():
+    cache = PhantomCache()
+    road = Road(length=100000.0)
+    reference = [state(3, 1000.0)] * Z
+    first = cache.build_missing(reference, 2, road, R)
+    second = cache.build_missing(reference, 2, road, R)
+    assert first.history == second.history
+    first.history.append(state(3, 0.0))
+    # Mutating one caller's list must not leak into the cache.
+    third = cache.build_missing(reference, 2, road, R)
+    assert len(third.history) == Z
+
+
+def test_maxsize_validation():
+    with pytest.raises(ValueError):
+        PhantomCache(maxsize=0)

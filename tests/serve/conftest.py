@@ -1,0 +1,24 @@
+"""Shared fixtures for the serving tests: one real HEAD engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HEADConfig
+from repro.core.head import HEAD
+from repro.serve import BatchInferenceEngine, make_graph_pool
+
+
+@pytest.fixture(scope="session")
+def head():
+    return HEAD(HEADConfig(), rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="session")
+def engine(head):
+    return BatchInferenceEngine.from_head(head)
+
+
+@pytest.fixture(scope="session")
+def pool(head):
+    return make_graph_pool(12, seed=1,
+                           history_steps=head.config.history_steps)

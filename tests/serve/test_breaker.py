@@ -1,0 +1,134 @@
+"""CircuitBreaker ladder: trips, cooldowns, half-open probes, recovery."""
+
+from repro.serve import BatchStats, BreakerConfig, CircuitBreaker, ServiceLevel
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(config=None):
+    clock = FakeClock()
+    breaker = CircuitBreaker(config or BreakerConfig(
+        window=32, min_events=8, cooldown=1.0, probe_batches=2), clock=clock)
+    return breaker, clock
+
+
+def healthy(size=8):
+    return BatchStats(size=size)
+
+
+def degraded(size=8):
+    return BatchStats(size=size, degraded_requests=size)
+
+
+def test_starts_closed_at_full_head():
+    breaker, _ = make()
+    assert breaker.level is ServiceLevel.FULL_HEAD
+    assert breaker.state == "closed"
+    assert breaker.plan() == (ServiceLevel.FULL_HEAD, False)
+
+
+def test_no_trip_below_min_events():
+    breaker, _ = make()
+    breaker.record(degraded(size=4))
+    assert breaker.level is ServiceLevel.FULL_HEAD
+
+
+def test_degraded_storm_trips_one_rung():
+    breaker, _ = make()
+    breaker.record(degraded())
+    assert breaker.level is ServiceLevel.CV_PERCEPTION
+    assert breaker.trips == 1
+    assert "degraded" in breaker.last_trip_reason
+    assert breaker.state == "open"
+
+
+def test_deadline_miss_storm_trips():
+    breaker, _ = make()
+    breaker.record(BatchStats(size=8, deadline_misses=8))
+    assert breaker.level is ServiceLevel.CV_PERCEPTION
+    assert "deadline" in breaker.last_trip_reason
+
+
+def test_handler_failure_trips_immediately():
+    breaker, _ = make()
+    breaker.record(BatchStats(size=1, handler_failure=True))
+    assert breaker.level is ServiceLevel.CV_PERCEPTION
+    assert breaker.trips == 1
+
+
+def test_half_open_after_cooldown_probes_one_rung_up():
+    breaker, clock = make()
+    breaker.record(degraded())
+    assert breaker.plan() == (ServiceLevel.CV_PERCEPTION, False)
+    clock.advance(1.5)
+    assert breaker.state == "half-open"
+    assert breaker.plan() == (ServiceLevel.FULL_HEAD, True)
+
+
+def test_probe_successes_recover_one_rung():
+    breaker, clock = make()
+    breaker.record(degraded())
+    clock.advance(1.5)
+    level, probe = breaker.plan()
+    breaker.record(healthy(), probe=True)
+    assert breaker.level is ServiceLevel.CV_PERCEPTION  # one success isn't enough
+    breaker.record(healthy(), probe=True)
+    assert breaker.level is ServiceLevel.FULL_HEAD
+    assert breaker.recoveries == 1
+    assert breaker.state == "closed"
+
+
+def test_probe_failure_restarts_cooldown():
+    breaker, clock = make()
+    breaker.record(degraded())
+    clock.advance(1.5)
+    breaker.record(degraded(), probe=True)
+    assert breaker.level is ServiceLevel.CV_PERCEPTION
+    assert breaker.state == "open"  # cooldown restarted
+    clock.advance(0.5)
+    assert breaker.plan() == (ServiceLevel.CV_PERCEPTION, False)
+
+
+def test_bottom_rung_trip_restarts_cooldown_without_stepping():
+    breaker, clock = make()
+    breaker.record(degraded())
+    breaker.record(degraded())
+    assert breaker.level is ServiceLevel.SAFETY_FALLBACK
+    trips_before = breaker.trips
+    breaker.record(BatchStats(size=1, handler_failure=True))
+    assert breaker.level is ServiceLevel.SAFETY_FALLBACK
+    assert breaker.trips == trips_before
+    assert breaker.state == "open"
+
+
+def test_recovery_below_full_head_keeps_cooldown():
+    breaker, clock = make()
+    breaker.record(degraded())
+    breaker.record(degraded())
+    assert breaker.level is ServiceLevel.SAFETY_FALLBACK
+    clock.advance(1.5)
+    breaker.record(healthy(), probe=True)
+    breaker.record(healthy(), probe=True)
+    assert breaker.level is ServiceLevel.CV_PERCEPTION
+    # Next rung gets its own cooldown before probing resumes.
+    assert breaker.state == "open"
+    clock.advance(1.5)
+    assert breaker.plan() == (ServiceLevel.FULL_HEAD, True)
+
+
+def test_window_eviction_keeps_fractions_recent():
+    breaker, _ = make(BreakerConfig(window=16, min_events=8, cooldown=1.0))
+    # Old degradation scrolls out of the window before tripping.
+    breaker.record(BatchStats(size=4, degraded_requests=4))
+    for _ in range(8):
+        breaker.record(healthy(size=8))
+    assert breaker.level is ServiceLevel.FULL_HEAD

@@ -1,0 +1,159 @@
+"""ServeClient: per-attempt timeouts, jittered backoff, retry budget."""
+
+import asyncio
+
+import numpy as np
+
+from repro.decision.pamdp import LaneBehavior, ParameterizedAction
+from repro.serve import (ClientConfig, InferenceResponse, RetryBudget,
+                         ServeClient, Verdict)
+
+HANG = object()
+
+
+def ok_response(rid="r0"):
+    return InferenceResponse(
+        request_id=rid, verdict=Verdict.OK,
+        action=ParameterizedAction(LaneBehavior.KEEP, 0.0))
+
+
+def shed_response(rid="r0", retry_after=0.001):
+    return InferenceResponse(request_id=rid, verdict=Verdict.SHED_QUEUE_FULL,
+                             retry_after=retry_after)
+
+
+class ScriptedServer:
+    """Duck-types the two server attributes the client touches.
+
+    Each submit pops the next scripted item: an InferenceResponse
+    (returned as an already-resolved future) or HANG (a future that
+    never resolves, to exercise the client-side timeout).
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.now = 0.0
+        self.deadlines = []
+
+    def clock(self):
+        return self.now
+
+    def submit_nowait(self, graph, deadline=None, request_id=None):
+        self.deadlines.append(deadline)
+        future = asyncio.get_running_loop().create_future()
+        item = self.script.pop(0)
+        if item is not HANG:
+            future.set_result(item)
+        return future
+
+
+def make_client(script, config=None, sleeps=None):
+    server = ScriptedServer(script)
+    recorded = [] if sleeps is None else sleeps
+
+    async def fake_sleep(delay):
+        recorded.append(delay)
+
+    client = ServeClient(server, config or ClientConfig(),
+                         seed=0, sleep=fake_sleep)
+    return client, server, recorded
+
+
+def test_first_attempt_success_never_retries():
+    client, _, sleeps = make_client([ok_response()])
+
+    response = asyncio.run(client.infer(object()))
+    assert response.verdict is Verdict.OK
+    assert response.attempts == 1
+    assert client.retries_total == 0 and sleeps == []
+
+
+def test_retries_shed_then_succeeds():
+    client, _, sleeps = make_client(
+        [shed_response(retry_after=0.05), ok_response()])
+
+    response = asyncio.run(client.infer(object()))
+    assert response.verdict is Verdict.OK
+    assert response.attempts == 2
+    assert client.retries_total == 1
+    # Backoff honors the server's retry_after hint as a floor.
+    assert len(sleeps) == 1 and sleeps[0] >= 0.05
+
+
+def test_degraded_answer_is_not_retried():
+    degraded = InferenceResponse(
+        request_id="r0", verdict=Verdict.DEGRADED_FALLBACK,
+        action=ParameterizedAction(LaneBehavior.KEEP, 0.0))
+    client, _, sleeps = make_client([degraded])
+
+    response = asyncio.run(client.infer(object()))
+    assert response.verdict is Verdict.DEGRADED_FALLBACK
+    assert response.attempts == 1 and sleeps == []
+
+
+def test_client_timeout_is_typed_and_counted():
+    config = ClientConfig(timeout=0.01, max_attempts=2)
+    client, _, _ = make_client([HANG, HANG], config=config)
+
+    response = asyncio.run(client.infer(object()))
+    assert response.verdict is Verdict.CLIENT_TIMEOUT
+    assert response.attempts == 2
+    assert client.timeouts_total == 2
+
+
+def test_retry_budget_caps_amplification():
+    config = ClientConfig(max_attempts=5, retry_budget=0.0, retry_burst=1.0)
+    client, server, _ = make_client([shed_response() for _ in range(5)],
+                                    config=config)
+
+    response = asyncio.run(client.infer(object()))
+    # One banked token allows one retry; the second is denied.
+    assert response.verdict is Verdict.SHED_QUEUE_FULL
+    assert response.attempts == 2
+    assert client.retries_total == 1
+    assert client.budget.denied == 1
+    assert len(server.script) == 3  # three scripted answers never requested
+
+
+def test_budget_refills_with_organic_traffic():
+    budget = RetryBudget(rate=0.5, burst=2.0)
+    assert budget.try_spend() and budget.try_spend()
+    assert not budget.try_spend()
+    budget.note_request()
+    budget.note_request()
+    assert budget.try_spend()
+    assert budget.denied == 1
+
+
+def test_deadline_budget_fixes_absolute_deadline_and_stops_retries():
+    client, server, sleeps = make_client(
+        [shed_response(), ok_response()],
+        config=ClientConfig(max_attempts=3))
+
+    response = asyncio.run(client.infer(object(), deadline_budget=0.0))
+    # Deadline now+0.0 is already past after the first answer: no retry,
+    # and the deadline the server saw was absolute, not per-attempt.
+    assert response.verdict is Verdict.SHED_QUEUE_FULL
+    assert response.attempts == 1 and sleeps == []
+    assert server.deadlines == [0.0]
+
+
+def test_delay_is_jittered_bounded_and_floored():
+    config = ClientConfig(backoff_base=0.02, backoff_factor=2.0,
+                          backoff_max=0.5, jitter=0.5)
+    client, _, _ = make_client([], config=config)
+
+    for _ in range(50):
+        first = client._delay(1, None)
+        assert 0.01 <= first <= 0.02
+        deep = client._delay(10, None)
+        assert 0.25 <= deep <= 0.5  # capped at backoff_max
+    assert client._delay(1, 1.5) == 1.5  # retry_after wins when later
+
+    # Seeded clients replay identical jitter sequences.
+    a, _, _ = make_client([], config=config)
+    b, _, _ = make_client([], config=config)
+    assert [a._delay(2, None) for _ in range(8)] \
+        == [b._delay(2, None) for _ in range(8)]
+    assert isinstance(a._delay(1, None), float)
+    assert np.isfinite(a._delay(1, None))

@@ -1,0 +1,91 @@
+"""BatchInferenceEngine: ladder rungs, poisoned inputs, TTC gate."""
+
+import numpy as np
+import pytest
+
+from repro.decision.pamdp import LaneBehavior
+from repro.faults.service import poison_graph
+from repro.serve import ServiceLevel, Verdict, front_ttc_from_graph
+from repro.serve.engine import safety_action_from_graph
+from repro.sim import constants
+
+
+def test_full_head_answers_every_graph(engine, pool):
+    results = engine.infer(pool[:4], ServiceLevel.FULL_HEAD)
+    assert len(results) == 4
+    for result in results:
+        assert result.verdict is Verdict.OK
+        assert result.level is ServiceLevel.FULL_HEAD
+        assert np.isfinite(result.action.accel)
+
+
+def test_cv_rung_skips_network_and_marks_degraded(engine, pool):
+    results = engine.infer(pool[:3], ServiceLevel.CV_PERCEPTION)
+    for result in results:
+        assert result.verdict is Verdict.DEGRADED_PERCEPTION
+        assert result.level is ServiceLevel.CV_PERCEPTION
+        assert np.isfinite(result.action.accel)
+
+
+def test_safety_rung_uses_no_networks(engine, pool):
+    results = engine.infer(pool[:3], ServiceLevel.SAFETY_FALLBACK)
+    for result in results:
+        assert result.verdict is Verdict.DEGRADED_FALLBACK
+        assert result.action.behavior is LaneBehavior.KEEP
+        assert result.action.accel in (0.0, -constants.A_MAX)
+
+
+def test_poisoned_graph_is_quarantined(engine, pool):
+    graphs = [pool[0], poison_graph(pool[1]), pool[2]]
+    results = engine.infer(graphs, ServiceLevel.FULL_HEAD)
+    assert results[1].verdict is Verdict.DEGRADED_FALLBACK
+    assert results[1].level is ServiceLevel.SAFETY_FALLBACK
+    assert results[1].degraded_rows > 0
+    # The poisoned neighbor must not contaminate the clean requests ...
+    assert results[0].verdict is Verdict.OK
+    assert results[2].verdict is Verdict.OK
+    # ... whose results match the same clean pair batched alone, bitwise.
+    clean = engine.infer([pool[0], pool[2]], ServiceLevel.FULL_HEAD)
+    assert results[0].action == clean[0].action
+    assert results[2].action == clean[1].action
+
+
+def test_empty_batch_is_empty(engine):
+    assert engine.infer([], ServiceLevel.FULL_HEAD) == []
+
+
+def test_front_ttc_matches_hand_math(pool):
+    graph = pool[0]
+    row = graph.target_features[-1, 1]
+    gap = float(row[1]) * 100.0 - constants.VEHICLE_LENGTH
+    closing = -float(row[2]) * 10.0
+    ttc = front_ttc_from_graph(graph)
+    if closing <= 0.0:
+        assert ttc is None or gap <= 0.5
+    else:
+        assert ttc == pytest.approx(gap / closing)
+
+
+def test_front_ttc_none_for_zero_slot(pool):
+    graph = poison_graph(pool[0])
+    zeroed = pool[0].target_features.copy()
+    zeroed[-1, 1, :] = 0.0
+    from repro.perception.graph import SpatialTemporalGraph
+    empty_front = SpatialTemporalGraph(zeroed, pool[0].contributor_features,
+                                       pool[0].target_mask,
+                                       pool[0].ego_features)
+    assert front_ttc_from_graph(empty_front) is None
+    assert safety_action_from_graph(empty_front).accel == 0.0
+    # Non-finite target features brake unconditionally.
+    assert safety_action_from_graph(graph).accel == -constants.A_MAX
+
+
+def test_safety_brakes_when_ttc_below_threshold(pool):
+    base = pool[0]
+    features = base.target_features.copy()
+    # Gap 25 m (0.25 * 100), closing 15 m/s -> TTC ~ 1.4 s < 3.0.
+    features[-1, 1] = [0.0, 0.25, -1.5, 0.0]
+    from repro.perception.graph import SpatialTemporalGraph
+    graph = SpatialTemporalGraph(features, base.contributor_features,
+                                 base.target_mask, base.ego_features)
+    assert safety_action_from_graph(graph, ttc_brake=3.0).accel == -constants.A_MAX

@@ -1,0 +1,209 @@
+"""InferenceServer: typed outcomes for every path through the worker."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.decision.pamdp import LaneBehavior, ParameterizedAction
+from repro.serve import (BatcherConfig, BreakerConfig, InferenceServer,
+                         ServerConfig, ServiceLevel, Verdict)
+from repro.serve.engine import ItemResult
+
+
+class StubEngine:
+    """Instant answers; optional per-call sleep or exception."""
+
+    def __init__(self, sleep=0.0, raises=None):
+        self.sleep = sleep
+        self.raises = raises
+        self.calls = 0
+
+    def infer(self, graphs, level):
+        self.calls += 1
+        if level is not ServiceLevel.SAFETY_FALLBACK:
+            if self.sleep:
+                time.sleep(self.sleep)
+            if self.raises is not None:
+                raise self.raises
+        return [ItemResult(
+            action=ParameterizedAction(LaneBehavior.KEEP, 0.0),
+            verdict=(Verdict.OK if level is ServiceLevel.FULL_HEAD
+                     else Verdict.DEGRADED_FALLBACK),
+            level=level) for _ in graphs]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_server(engine=None, **kwargs):
+    return InferenceServer(engine or StubEngine(), ServerConfig(**kwargs))
+
+
+def test_single_request_resolves_ok():
+    async def scenario():
+        server = make_server()
+        await server.start()
+        response = await server.submit(object(), request_id="r1")
+        await server.stop()
+        return response
+
+    response = run(scenario())
+    assert response.request_id == "r1"
+    assert response.verdict is Verdict.OK
+    assert response.action is not None
+    assert response.latency >= 0.0
+
+
+def test_queue_full_is_typed_backpressure():
+    async def scenario():
+        server = make_server(StubEngine(sleep=0.1),
+                             batcher=BatcherConfig(max_batch=1, capacity=2,
+                                                   batch_window=0.0))
+        await server.start()
+        futures = [server.submit_nowait(object()) for _ in range(8)]
+        responses = await asyncio.gather(*futures)
+        await server.stop()
+        return responses
+
+    responses = run(scenario())
+    rejected = [r for r in responses if r.verdict is Verdict.SHED_QUEUE_FULL]
+    assert rejected, "no backpressure at 4x capacity"
+    for response in rejected:
+        assert response.retry_after > 0.0
+        assert response.action is None
+
+
+def test_expired_deadline_is_shed_typed():
+    async def scenario():
+        server = make_server(StubEngine(sleep=0.05),
+                             batcher=BatcherConfig(max_batch=1,
+                                                   batch_window=0.0))
+        await server.start()
+        blocker = server.submit_nowait(object())
+        doomed = server.submit_nowait(object(),
+                                      deadline=server.clock() + 0.01)
+        responses = await asyncio.gather(blocker, doomed)
+        await server.stop()
+        return responses
+
+    _, doomed = run(scenario())
+    assert doomed.verdict is Verdict.SHED_DEADLINE
+    assert doomed.action is None
+
+
+def test_handler_stall_yields_typed_fallback_and_trips_breaker():
+    async def scenario():
+        engine = StubEngine(sleep=0.5)
+        server = make_server(engine, handler_timeout=0.05,
+                             breaker=BreakerConfig(cooldown=60.0))
+        await server.start()
+        response = await server.submit(object())
+        health = server.health_report()
+        await server.stop()
+        return response, health
+
+    response, health = run(scenario())
+    assert response.verdict is Verdict.DEGRADED_FALLBACK
+    assert response.action is not None
+    assert "exceeded" in response.detail
+    assert health.handler_failures_total == 1
+    assert health.breaker_trips == 1
+    assert health.level is ServiceLevel.CV_PERCEPTION
+
+
+def test_handler_exception_yields_typed_fallback():
+    async def scenario():
+        server = make_server(StubEngine(raises=RuntimeError("boom")))
+        await server.start()
+        response = await server.submit(object())
+        await server.stop()
+        return response
+
+    response = run(scenario())
+    assert response.verdict is Verdict.DEGRADED_FALLBACK
+    assert "RuntimeError" in response.detail
+
+
+def test_engine_failing_at_every_rung_still_resolves_typed():
+    class BrokenEngine:
+        def infer(self, graphs, level):
+            raise RuntimeError("broken at every rung")
+
+    async def scenario():
+        server = make_server(BrokenEngine())
+        await server.start()
+        response = await server.submit(object())
+        await server.stop()
+        return response
+
+    response = run(scenario())
+    # Even when the safety fallback itself raises, the caller gets a
+    # typed ERROR -- never a stranded future.
+    assert response.verdict is Verdict.ERROR
+    assert response.action is None
+    assert "fallback raised" in response.detail
+
+
+def test_stop_drains_without_hanging_submitters():
+    async def scenario():
+        server = make_server(batcher=BatcherConfig(batch_window=0.0))
+        await server.start()
+        futures = [server.submit_nowait(object()) for _ in range(10)]
+        await server.stop()
+        responses = await asyncio.gather(*futures)
+        late = await server.submit(object())
+        return responses, late
+
+    responses, late = run(scenario())
+    for response in responses:
+        assert response.verdict in (Verdict.OK, Verdict.SHED_SHUTDOWN)
+    assert late.verdict is Verdict.SHED_SHUTDOWN
+
+
+def test_double_start_is_an_error():
+    async def scenario():
+        server = make_server()
+        await server.start()
+        with pytest.raises(RuntimeError):
+            await server.start()
+        await server.stop()
+
+    run(scenario())
+
+
+def test_health_report_shape():
+    async def scenario():
+        server = make_server()
+        await server.start()
+        await server.submit(object())
+        report = server.health_report()
+        await server.stop()
+        return report, server.health_report()
+
+    live, stopped = run(scenario())
+    assert live.ready and not live.draining
+    assert live.requests_total == 1 and live.responses_total == 1
+    assert live.breaker_state == "closed"
+    assert 0.0 <= live.batch_occupancy <= 1.0
+    wire = live.to_wire()
+    assert wire["level"] == "full_head"
+    assert not stopped.ready and stopped.draining
+
+
+def test_default_deadline_applies_when_client_sends_none():
+    async def scenario():
+        server = make_server(StubEngine(sleep=0.1),
+                             batcher=BatcherConfig(max_batch=1,
+                                                   batch_window=0.0),
+                             default_deadline=0.01)
+        await server.start()
+        blocker = server.submit_nowait(object())
+        doomed = server.submit_nowait(object())
+        responses = await asyncio.gather(blocker, doomed)
+        await server.stop()
+        return responses
+
+    responses = run(scenario())
+    assert any(r.verdict is Verdict.SHED_DEADLINE for r in responses)

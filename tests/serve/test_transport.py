@@ -1,0 +1,93 @@
+"""TCP transport: round-trip fidelity, typed edge errors, health op."""
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.serve import (BatcherConfig, InferenceServer, ServerConfig,
+                         TcpClient, TcpTransport, decode_graph, encode_graph)
+
+
+def test_graph_wire_round_trip_is_exact(pool):
+    graph = pool[0]
+    again = decode_graph(json.loads(json.dumps(encode_graph(graph))))
+    # repr round-trip through JSON decimals is exact for float64.
+    assert np.array_equal(graph.target_features, again.target_features)
+    assert np.array_equal(graph.contributor_features,
+                          again.contributor_features)
+    assert np.array_equal(graph.target_mask, again.target_mask)
+    assert np.array_equal(graph.ego_features, again.ego_features)
+    assert again.target_features.dtype == np.float64
+
+
+def boot(engine):
+    server = InferenceServer(engine, ServerConfig(
+        batcher=BatcherConfig(batch_window=0.002)))
+    return server, TcpTransport(server, port=0)
+
+
+def test_infer_and_health_over_tcp(engine, pool):
+    async def scenario():
+        server, transport = boot(engine)
+        await server.start()
+        await transport.start()
+        client = TcpClient(port=transport.port)
+        await client.connect()
+        answer = await client.infer(pool[0], deadline_ms=5000)
+        health = await client.health()
+        await client.close()
+        await transport.stop()
+        await server.stop()
+        return answer, health
+
+    answer, health = asyncio.run(scenario())
+    assert answer["verdict"] == "ok"
+    assert answer["level"] == "full_head"
+    assert answer["action"]["behavior"] in ("KEEP", "LEFT", "RIGHT")
+    assert np.isfinite(answer["action"]["accel"])
+    assert health["ready"] is True
+    assert health["level"] == "full_head"
+    assert health["responses_total"] >= 1
+
+
+def test_malformed_lines_get_typed_errors_not_drops(engine):
+    async def scenario():
+        server, transport = boot(engine)
+        await server.start()
+        await transport.start()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", transport.port)
+        replies = []
+        for line in [b"this is not json\n",
+                     b'{"op": "launch-missiles"}\n',
+                     b'{"op": "infer", "graph": {"nope": 1}}\n']:
+            writer.write(line)
+            await asyncio.wait_for(writer.drain(), timeout=5.0)
+            reply = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            replies.append(json.loads(reply))
+        writer.close()
+        await transport.stop()
+        await server.stop()
+        return replies
+
+    bad_json, bad_op, bad_graph = asyncio.run(scenario())
+    assert bad_json["verdict"] == "error"
+    assert "JSONDecodeError" in bad_json["detail"]
+    assert bad_op["verdict"] == "error"
+    assert "launch-missiles" in bad_op["detail"]
+    assert bad_graph["verdict"] == "error"
+    # The connection survived all three malformed lines.
+
+
+def test_port_zero_binds_an_ephemeral_port(engine):
+    async def scenario():
+        server, transport = boot(engine)
+        await server.start()
+        await transport.start()
+        port = transport.port
+        await transport.stop()
+        await server.stop()
+        return port
+
+    assert asyncio.run(scenario()) > 0
