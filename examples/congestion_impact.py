@@ -21,6 +21,7 @@ from repro.decision import (Controller, EpsilonSchedule, IDMLCPolicy,
                             LaneBehavior, ParameterizedAction, TPBTSPolicy)
 from repro.eval import evaluate_controller, render_table
 from repro.perception.phantom import TrackKind
+from repro.seeding import default_generator
 from repro.sim import constants
 
 
@@ -53,7 +54,7 @@ class AggressivePolicy(Controller):
 
 
 def main() -> None:
-    rng = np.random.default_rng(2)
+    rng = default_generator(2)
     config = HEADConfig().scaled(road_length=600.0, density_per_km=130,
                                  training_episodes=120, max_episode_steps=150)
     head = HEAD(config, rng=rng)

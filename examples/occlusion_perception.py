@@ -12,13 +12,14 @@ import numpy as np
 
 from repro.perception import (EnhancedPerception, LSTGAT, Sensor, TrackKind,
                               to_networkx)
+from repro.seeding import default_generator
 from repro.sim import Road, SimulationEngine, Vehicle, VehicleState
 
 
 def build_scene_engine() -> SimulationEngine:
     """A scene with an occluded leader-of-leader and an off-road side."""
     road = Road(length=2000.0)
-    engine = SimulationEngine(road=road, rng=np.random.default_rng(0))
+    engine = SimulationEngine(road=road, rng=default_generator(0))
     engine.add_vehicle(Vehicle("av", VehicleState(lat=1, lon=500.0, v=20.0),
                                is_autonomous=True))
     # Directly ahead: visible.
@@ -47,7 +48,7 @@ def main() -> None:
         print(f"  {vid:>7}: {status}")
 
     perception = EnhancedPerception(
-        predictor=LSTGAT(attention_dim=32, lstm_dim=32, rng=np.random.default_rng(1)))
+        predictor=LSTGAT(attention_dim=32, lstm_dim=32, rng=default_generator(1)))
     # Feed a few frames so tracks accumulate history.
     for _ in range(5):
         frame = perception.perceive(engine, "av")

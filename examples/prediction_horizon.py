@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.data import generate_real_dataset
 from repro.eval import render_table
+from repro.seeding import default_generator
 from repro.perception import (LSTGAT, build_samples, horizon_errors,
                               train_predictor)
 
@@ -24,7 +25,7 @@ def main() -> None:
     train = build_samples(train_set, max_egos=6)
     test = build_samples(test_set, max_egos=4)
 
-    model = LSTGAT(attention_dim=32, lstm_dim=32, rng=np.random.default_rng(0))
+    model = LSTGAT(attention_dim=32, lstm_dim=32, rng=default_generator(0))
     result = train_predictor(model, train, epochs=10, batch_size=64)
     print(f"trained: final loss {result.final_loss:.4f} "
           f"({result.wall_time:.0f}s)\n")

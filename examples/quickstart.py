@@ -17,10 +17,11 @@ from repro import HEAD, HEADConfig
 from repro.data import generate_real_dataset
 from repro.decision import EpsilonSchedule, IDMLCPolicy
 from repro.eval import evaluate_controller, render_metric_table
+from repro.seeding import default_generator
 
 
 def main() -> None:
-    rng = np.random.default_rng(0)
+    rng = default_generator(0)
     config = HEADConfig().scaled(road_length=600.0, density_per_km=110,
                                  training_episodes=120, max_episode_steps=150)
     head = HEAD(config, rng=rng)

@@ -18,6 +18,7 @@ import numpy as np
 from repro import HEAD, HEADConfig
 from repro.data import generate_real_dataset
 from repro.decision import EpsilonSchedule
+from repro.seeding import default_generator
 
 SCALES = {
     "quick": dict(config=HEADConfig().scaled(),
@@ -42,7 +43,7 @@ def main() -> None:
     args = parser.parse_args()
 
     profile = SCALES[args.scale]
-    head = HEAD(profile["config"], rng=np.random.default_rng(args.seed))
+    head = HEAD(profile["config"], rng=default_generator(args.seed))
     head.agent.epsilon = EpsilonSchedule(decay_steps=max(profile["episodes"] * 25, 3000))
 
     start = time.perf_counter()

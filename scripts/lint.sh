@@ -1,13 +1,28 @@
 #!/usr/bin/env bash
 # Run reprolint exactly the way the CI gate does.
 #
-#   scripts/lint.sh                 lint src and tests, fail on findings
+#   scripts/lint.sh                 full lint (default paths), fail on
+#                                   findings and on anything above the
+#                                   checked-in baseline
+#   scripts/lint.sh --fast          lint only files changed vs HEAD
+#                                   (git diff + untracked); the cached
+#                                   whole-program pass still spans the
+#                                   full tree
 #   scripts/lint.sh path/to/file.py lint specific files/directories
 #
-# See docs/static_analysis.md for the rule catalogue and suppression
+# Both modes share the incremental cache in .reprolint-cache/, so a
+# repeat run on an unchanged tree is near-instant.  See
+# docs/static_analysis.md for the rule catalogue and suppression
 # syntax.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PYTHONPATH=src exec python -m repro.cli lint --fail-on-findings "$@"
+if [[ "${1:-}" == "--fast" ]]; then
+    shift
+    PYTHONPATH=src exec python -m repro.cli lint \
+        --changed --fail-on-findings --fail-on-new "$@"
+fi
+
+PYTHONPATH=src exec python -m repro.cli lint \
+    --fail-on-findings --fail-on-new "$@"

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.perception.graph import CONTRIBUTORS, FEATURE_DIM, SpatialTemporalGraph
 from repro.perception.lstgat import LSTGAT
+from repro.seeding import default_generator
 
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "nn" / "golden" / "lstgat_trace.npz"
 
@@ -36,7 +37,7 @@ ATTENTION_DIM = LSTM_DIM = 64
 
 
 def build_graph() -> tuple[SpatialTemporalGraph, np.ndarray]:
-    rng = np.random.default_rng(DATA_SEED)
+    rng = default_generator(DATA_SEED)
     contributors = rng.standard_normal((Z, N, CONTRIBUTORS, FEATURE_DIM))
     contributors[:, :, 3, :] = 0.0          # one padded surrounding slot
     targets = contributors[:, :, 0, :].copy()
@@ -50,7 +51,7 @@ def build_graph() -> tuple[SpatialTemporalGraph, np.ndarray]:
 def main() -> None:
     graph, truth = build_graph()
     model = LSTGAT(attention_dim=ATTENTION_DIM, lstm_dim=LSTM_DIM,
-                   rng=np.random.default_rng(MODEL_SEED))
+                   rng=default_generator(MODEL_SEED))
     prediction = model.forward_graph(graph)
     model.zero_grad()
     loss = model.loss(graph, truth)

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.config import HEADConfig
 from repro.core.head import HEAD
+from repro.seeding import default_generator
 from repro.serve import (BatchInferenceEngine, BatcherConfig, BreakerConfig,
                          ClientConfig, InferenceServer, LoadProfile,
                          ServeClient, ServerConfig, ServiceLevel,
@@ -52,7 +53,7 @@ class StallFirstBatches:
 
 async def main() -> int:
     cfg = HEADConfig()
-    head = HEAD(cfg, rng=np.random.default_rng(0))
+    head = HEAD(cfg, rng=default_generator(0))
     engine = StallFirstBatches(BatchInferenceEngine.from_head(head),
                                stalls=2, stall_seconds=0.6)
     server = InferenceServer(engine, ServerConfig(

@@ -1,0 +1,144 @@
+"""Incremental result cache for reprolint.
+
+Per-file findings are pure functions of (file content, analyzer
+version), so they are cached under ``.reprolint-cache/`` keyed on a
+sha256 content hash plus an analyzer fingerprint that covers every
+registered rule id and the cache format version.  Whole-program
+findings depend on *every* file (a callee edit can change a caller's
+findings), so they are cached as one entry keyed on the digest of all
+``(path, content-hash)`` pairs: any edit anywhere invalidates the
+program entry while per-file entries for untouched files still hit.
+
+The cache is a single JSON document rewritten atomically per run --
+small enough at this repo's scale that one file beats a directory of
+key-shards, and trivially safe to delete.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .linting import Finding
+
+__all__ = ["LintCache", "analyzer_fingerprint", "content_hash",
+           "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = Path(".reprolint-cache")
+
+#: Bump when the cache document layout changes.
+_FORMAT_VERSION = 1
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def analyzer_fingerprint() -> str:
+    """Hash of the active rule set; any rule change invalidates everything.
+
+    Rule *behaviour* changes without an id change are expected to ride
+    along with a repro version bump or a cache wipe; ids + format
+    version catch the common cases (rules added/removed/renamed).
+    """
+    from .linting import RULES
+    from .program import PROGRAM_RULES
+    basis = ",".join(sorted(RULES) + sorted(PROGRAM_RULES))
+    return hashlib.sha256(
+        f"v{_FORMAT_VERSION}:{basis}".encode("utf-8")).hexdigest()[:16]
+
+
+def _encode(findings: list[Finding]) -> list[dict]:
+    return [{"rule": f.rule, "path": f.path, "line": f.line,
+             "col": f.col, "message": f.message} for f in findings]
+
+
+def _decode(rows: list[dict]) -> list[Finding]:
+    return [Finding(row["rule"], row["path"], row["line"], row["col"],
+                    row["message"]) for row in rows]
+
+
+@dataclass
+class LintCache:
+    """Hash-keyed findings cache with hit/miss accounting."""
+
+    root: Path = DEFAULT_CACHE_DIR
+    hits: int = 0
+    misses: int = 0
+    _files: dict[str, dict] = field(default_factory=dict)
+    _program: dict | None = None
+    _loaded_fingerprint: str | None = None
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self._fingerprint = analyzer_fingerprint()
+        self._load()
+
+    @property
+    def path(self) -> Path:
+        return self.root / "cache.json"
+
+    def _load(self) -> None:
+        try:
+            document = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if document.get("fingerprint") != self._fingerprint:
+            return  # analyzer changed: every entry is stale
+        self._files = document.get("files", {})
+        self._program = document.get("program")
+        self._loaded_fingerprint = document.get("fingerprint")
+
+    # ------------------------------------------------------------------
+    # per-file entries
+    # ------------------------------------------------------------------
+    # Keys are "relpath::hash" rather than bare relpath: an edited file
+    # keeps its pre-edit entry, so reverting the edit is a cache hit
+    # again.  Entries for dead hashes linger until the analyzer
+    # fingerprint rotates -- at this repo's scale that is bytes, and
+    # the directory is always safe to delete.
+    def get_file(self, relpath: str, digest: str) -> list[Finding] | None:
+        entry = self._files.get(f"{relpath}::{digest}")
+        if entry is not None:
+            self.hits += 1
+            return _decode(entry["findings"])
+        self.misses += 1
+        return None
+
+    def put_file(self, relpath: str, digest: str,
+                 findings: list[Finding]) -> None:
+        self._files[f"{relpath}::{digest}"] = {"findings": _encode(findings)}
+
+    # ------------------------------------------------------------------
+    # whole-program entry
+    # ------------------------------------------------------------------
+    @staticmethod
+    def program_digest(hashes: dict[str, str]) -> str:
+        """One digest over every (path, content-hash) pair."""
+        basis = "\n".join(f"{path}\0{digest}"
+                          for path, digest in sorted(hashes.items()))
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()
+
+    def get_program(self, digest: str) -> list[Finding] | None:
+        entry = (self._program or {}).get(digest)
+        return _decode(entry) if entry is not None else None
+
+    def put_program(self, digest: str, findings: list[Finding]) -> None:
+        if self._program is None:
+            self._program = {}
+        self._program[digest] = _encode(findings)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        document = {"fingerprint": self._fingerprint, "files": self._files,
+                    "program": self._program}
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(document, indent=0, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, self.path)

@@ -29,11 +29,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
-__all__ = ["Finding", "LintContext", "Rule", "RULES", "rule",
-           "iter_python_files", "lint_file", "lint_paths", "lint_source"]
+__all__ = ["Finding", "LintContext", "Rule", "RULES", "EXTRA_RULE_IDS",
+           "rule", "iter_python_files", "lint_file", "lint_paths",
+           "lint_source"]
 
 #: Directory names skipped by recursive walks (not by explicit paths).
 EXCLUDED_DIRS = frozenset({"fixtures", "__pycache__", ".git"})
+
+#: Rule ids registered outside the per-file registry (the whole-program
+#: pass in :mod:`repro.analysis.program` adds its ids here) so that
+#: suppression comments naming them are not flagged as unknown.
+EXTRA_RULE_IDS: set[str] = set()
 
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*(?P<verb>[\w-]+)\s*(?:=\s*(?P<rules>[\w,\s-]*))?")
 _RULE_ID_RE = re.compile(r"^[a-z][a-z0-9]*(-[a-z0-9]+)*$")
@@ -190,7 +196,7 @@ def lint_source(source: str, path: str = "<string>",
         return [Finding("syntax-error", path, error.lineno or 1,
                         (error.offset or 1) - 1, f"file does not parse: {error.msg}")]
     ctx = LintContext(path, source, tree)
-    suppressions = _parse_suppressions(source, RULES)
+    suppressions = _parse_suppressions(source, set(RULES) | EXTRA_RULE_IDS)
 
     findings: list[Finding] = [
         Finding("bad-suppression", path, lineno, 0, message)
@@ -249,7 +255,10 @@ def lint_paths(paths: Iterable[str | Path],
 
 # Importing the rule catalogue registers every rule; done last so the
 # decorator above is defined.  (Rules import nothing back from here at
-# call time, only at module import.)
+# call time, only at module import.)  The program pass is imported for
+# the same reason: registering its rule ids into EXTRA_RULE_IDS keeps
+# suppression comments naming them from being flagged as unknown.
 from . import rules as _rules  # noqa: E402  (registration side effect)
+from . import program as _program  # noqa: E402  (registration side effect)
 
-del _rules
+del _rules, _program

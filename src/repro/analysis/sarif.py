@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 serialization of reprolint findings.
+
+Only the schema-required subset is emitted: tool driver metadata with
+the full rule catalogue, and one ``result`` per finding carrying rule
+id, message, and physical location.  CI uploads the document so code
+hosts can annotate PR lines; findings are emitted at ``error`` level
+because the build fails on them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+
+from .linting import RULES, Finding
+
+__all__ = ["to_sarif", "render_sarif", "SARIF_SCHEMA_URI", "SARIF_VERSION"]
+
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+SARIF_VERSION = "2.1.0"
+
+#: Findings the framework emits without a registered Rule instance.
+_META_RULES = {
+    "syntax-error": "file does not parse",
+    "bad-suppression": "malformed reprolint suppression comment",
+}
+
+
+def _rule_catalogue() -> list[dict]:
+    from .program import PROGRAM_RULES
+    catalogue = []
+    for rule_id, rule in list(RULES.items()) + list(PROGRAM_RULES.items()):
+        catalogue.append({
+            "id": rule_id,
+            "shortDescription": {"text": rule.summary or rule_id},
+        })
+    for rule_id, summary in _META_RULES.items():
+        catalogue.append({"id": rule_id,
+                          "shortDescription": {"text": summary}})
+    return catalogue
+
+
+def _uri(path: str) -> str:
+    # as_posix() alone is not enough: on posix hosts a backslash is a
+    # valid filename character, so normalize it explicitly too.
+    return PurePath(path).as_posix().replace("\\", "/")
+
+
+def to_sarif(findings: list[Finding], tool_version: str = "2.0") -> dict:
+    """Build the SARIF document as a plain dict."""
+    results = [{
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": _uri(finding.path)},
+                "region": {"startLine": max(finding.line, 1),
+                           "startColumn": finding.col + 1},
+            },
+        }],
+    } for finding in findings]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "reprolint",
+                "informationUri":
+                    "https://example.invalid/repro/docs/static_analysis.md",
+                "version": tool_version,
+                "rules": _rule_catalogue(),
+            }},
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(findings: list[Finding]) -> str:
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=False)

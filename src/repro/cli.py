@@ -23,6 +23,7 @@ from . import HEAD, HEADConfig, __version__
 from .data import generate_real_dataset
 from .decision import EpsilonSchedule, IDMLCPolicy
 from .eval import evaluate_controller, render_metric_table
+from .seeding import default_generator
 from .sim.render import render_window
 
 __all__ = ["main", "build_parser"]
@@ -137,13 +138,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the load report as JSON to this file")
 
     lint = commands.add_parser(
-        "lint", help="run the reprolint static analyzer")
-    lint.add_argument("paths", nargs="*", default=["src", "tests"],
-                      help="files or directories to lint (default: src tests)")
+        "lint", help="run the reprolint static analyzer (v2: whole-program)")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to lint (default: every "
+                           "existing one of src tests examples scripts "
+                           "benchmarks)")
     lint.add_argument("--fail-on-findings", action="store_true",
                       help="exit non-zero when any finding survives "
                            "suppressions (the CI gate)")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--fail-on-new", action="store_true",
+                      help="exit non-zero only for findings not in the "
+                           "baseline file")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline path (default: .reprolint-baseline.json)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write current findings to the baseline and exit 0")
+    lint.add_argument("--changed", action="store_true",
+                      help="lint only files differing from git HEAD "
+                           "(composes with the cache; full tree still "
+                           "anchors the program pass)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the incremental result cache")
+    lint.add_argument("--cache-dir", default=None,
+                      help="cache directory (default: .reprolint-cache)")
+    lint.add_argument("--no-program", action="store_true",
+                      help="per-file rules only; skip the whole-program pass")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text")
+    lint.add_argument("--output", default=None,
+                      help="write formatted findings to this file instead "
+                           "of stdout")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
 
@@ -152,7 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _make_head(scale: str, seed: int, checkpoint: str | None) -> HEAD:
-    head = HEAD(SCALES[scale](), rng=np.random.default_rng(seed))
+    head = HEAD(SCALES[scale](), rng=default_generator(seed))
     head.agent.epsilon = EpsilonSchedule(decay_steps=4000)
     if checkpoint:
         head.load(checkpoint)
@@ -362,30 +386,86 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+DEFAULT_LINT_PATHS = ("src", "tests", "examples", "scripts", "benchmarks")
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis import RULES, lint_paths
+    import json
+    from pathlib import Path
+
+    from .analysis import RULES
+    from .analysis.cache import DEFAULT_CACHE_DIR, LintCache
+    from .analysis.driver import (DEFAULT_BASELINE, changed_files,
+                                  lint_project, load_baseline, new_findings,
+                                  write_baseline)
+    from .analysis.program import PROGRAM_RULES
+    from .analysis.sarif import render_sarif
 
     if args.list_rules:
         for rule_id, lint_rule in RULES.items():
-            print(f"{rule_id:>18}  {lint_rule.summary}")
+            print(f"{rule_id:>32}  {lint_rule.summary}")
+        for rule_id, program_lint_rule in PROGRAM_RULES.items():
+            print(f"{rule_id:>32}  [program] {program_lint_rule.summary}")
         return 0
-    files = 0
 
-    def count(_path) -> None:
-        nonlocal files
-        files += 1
+    paths = args.paths
+    if not paths:
+        paths = [path for path in DEFAULT_LINT_PATHS if Path(path).is_dir()]
 
-    findings = lint_paths(args.paths, on_file=count)
-    if args.format == "json":
-        import json
-        print(json.dumps([vars(finding) for finding in findings], indent=2))
+    only = None
+    if args.changed:
+        only = changed_files()
+        if only is None:
+            print("reprolint: --changed needs a git work tree; "
+                  "linting everything", file=sys.stderr)
+        elif not only:
+            print("reprolint: no files changed vs HEAD; nothing to lint")
+            return 0
+
+    cache = None
+    if not args.no_cache:
+        cache = LintCache(Path(args.cache_dir) if args.cache_dir
+                          else DEFAULT_CACHE_DIR)
+    report = lint_project(paths, cache=cache, only=only,
+                          run_program=not args.no_program)
+    findings = report.findings
+
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
+    if args.write_baseline:
+        write_baseline(findings, baseline_path)
+        print(f"reprolint: baseline with {len(findings)} finding(s) "
+              f"written to {baseline_path}")
+        return 0
+    fresh = new_findings(findings, load_baseline(baseline_path))
+
+    if args.format == "sarif":
+        rendered = render_sarif(findings)
+    elif args.format == "json":
+        rendered = json.dumps([vars(finding) for finding in findings],
+                              indent=2)
     else:
-        for finding in findings:
-            print(finding.render())
+        rendered = "\n".join(finding.render() for finding in findings)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+    elif rendered:
+        print(rendered)
+
+    if args.format == "text" and not args.output:
         noun = "finding" if len(findings) == 1 else "findings"
-        print(f"reprolint: {len(findings)} {noun} in {files} files "
-              f"({len(RULES)} rules)")
-    return 1 if findings and args.fail_on_findings else 0
+        cached = (f", {report.cache_hits}/{report.files_total} files from "
+                  f"cache" if cache is not None else "")
+        program_note = ("cached" if report.program_from_cache else "fresh") \
+            if not args.no_program else "skipped"
+        print(f"reprolint: {len(findings)} {noun} "
+              f"({len(fresh)} above baseline) in {report.files_total} files "
+              f"in {report.duration:.2f}s "
+              f"(program pass {program_note}{cached})")
+
+    if args.fail_on_findings and findings:
+        return 1
+    if args.fail_on_new and fresh:
+        return 1
+    return 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:

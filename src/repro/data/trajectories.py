@@ -18,6 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..seeding import default_generator
 from ..sim import Road, SimulationEngine, populate_traffic, replenish_traffic
 from ..sim.vehicle import VehicleState
 
@@ -151,7 +152,7 @@ def generate_real_dataset(seed: int = 0, steps: int = 300,
         Event length in steps (12 steps = 6 s).
     """
     road = road or Road(length=REAL_SEGMENT_LENGTH)
-    rng = np.random.default_rng(seed)
+    rng = default_generator(seed)
     engine = SimulationEngine(road=road, rng=rng)
     populate_traffic(engine, rng, density_per_km=density_per_km)
     snapshots: list[Snapshot] = []

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..perception.sensor import Sensor, clamp_measurement
+from ..seeding import default_generator
 from ..sim import constants
 from ..sim.road import Road
 from ..sim.vehicle import VehicleState
@@ -84,7 +85,7 @@ class FaultInjector:
     def __init__(self, schedule: FaultSchedule) -> None:
         self.schedule = schedule
         self.log = FaultLog()
-        self._rng = np.random.default_rng(schedule.seed)
+        self._rng = default_generator(schedule.seed)
         self._tracks: dict[str, _TrackFaults] = {}
         self._last_accel: float | None = None
 
@@ -98,7 +99,7 @@ class FaultInjector:
         episode k of a run always replays the same faults regardless of
         what happened in episodes 0..k-1.
         """
-        self._rng = np.random.default_rng([self.schedule.seed, episode_seed])
+        self._rng = default_generator([self.schedule.seed, episode_seed])
         self._tracks.clear()
         self._last_accel = None
         self.log = FaultLog()

@@ -107,9 +107,9 @@ class Sensor:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        import numpy as np
+        from ..seeding import default_generator
 
-        self._noise_rng = np.random.default_rng(self.seed)
+        self._noise_rng = default_generator(self.seed)
 
     def in_range(self, ego: VehicleState, target: VehicleState, road: Road) -> bool:
         """Euclidean range test in the plan view."""

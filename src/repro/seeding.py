@@ -26,8 +26,15 @@ __all__ = ["DEFAULT_SEED", "default_generator", "resolve_rng"]
 DEFAULT_SEED = 0
 
 
-def default_generator(seed: int | None = None) -> np.random.Generator:
-    """Return a fresh seeded generator (:data:`DEFAULT_SEED` when unset)."""
+def default_generator(
+    seed: int | list[int] | tuple[int, ...] | np.random.SeedSequence | None = None,
+) -> np.random.Generator:
+    """Return a fresh seeded generator (:data:`DEFAULT_SEED` when unset).
+
+    ``seed`` may be anything ``np.random.default_rng`` accepts explicitly
+    (int, entropy list, ``SeedSequence``); only ``None`` is rewritten to
+    the policy default -- OS entropy never leaks in.
+    """
     return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
 
 

@@ -26,7 +26,8 @@ See ``docs/serving.md`` for the architecture and tuning guide.
 """
 
 from .types import (BatchStats, InferenceRequest, InferenceResponse,
-                    ServiceLevel, Verdict, next_request_id)
+                    RequestIdSequence, ServiceLevel, Verdict,
+                    next_request_id)
 from .batcher import BatcherConfig, MicroBatcher, OfferRejected
 from .breaker import BreakerConfig, CircuitBreaker
 from .engine import (BatchInferenceEngine, ItemResult, front_ttc_from_graph,
@@ -39,7 +40,7 @@ from .transport import TcpClient, TcpTransport, decode_graph, encode_graph
 
 __all__ = [
     "ServiceLevel", "Verdict", "InferenceRequest", "InferenceResponse",
-    "BatchStats", "next_request_id",
+    "BatchStats", "RequestIdSequence", "next_request_id",
     "BatcherConfig", "MicroBatcher", "OfferRejected",
     "BreakerConfig", "CircuitBreaker",
     "BatchInferenceEngine", "ItemResult", "front_ttc_from_graph",

@@ -30,7 +30,7 @@ from .breaker import BreakerConfig, CircuitBreaker
 from .engine import BatchInferenceEngine
 from .health import HealthReport, HealthTracker
 from .types import (BatchStats, InferenceRequest, InferenceResponse,
-                    ServiceLevel, Verdict, next_request_id)
+                    RequestIdSequence, ServiceLevel, Verdict)
 
 __all__ = ["ServerConfig", "InferenceServer"]
 
@@ -65,6 +65,7 @@ class InferenceServer:
         self.breaker = CircuitBreaker(self.config.breaker, clock)
         self.health = HealthTracker(max_batch=self.config.batcher.max_batch)
         self._pending: dict[str, asyncio.Future[InferenceResponse]] = {}
+        self._request_ids = RequestIdSequence()
         self._worker: asyncio.Task | None = None
         self._draining = False
 
@@ -111,7 +112,7 @@ class InferenceServer:
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future[InferenceResponse] = loop.create_future()
-        rid = request_id if request_id is not None else next_request_id()
+        rid = request_id if request_id is not None else self._request_ids()
         self.health.note_request()
         now = self.clock()
         if deadline is None and self.config.default_deadline is not None:

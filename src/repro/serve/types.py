@@ -63,14 +63,33 @@ class Verdict(Enum):
         return self.is_shed or self in (Verdict.CLIENT_TIMEOUT, Verdict.ERROR)
 
 
-#: Monotonic fallback ids for requests submitted without one.  Request
-#: ids are also the canonical micro-batch sort key (see the batcher), so
-#: they must be unique and orderable within a server's lifetime.
-_SEQUENCE = itertools.count()
+class RequestIdSequence:
+    """Monotonic fallback ids for requests submitted without one.
+
+    Request ids are also the canonical micro-batch sort key (see the
+    batcher), so they must be unique and orderable within a server's
+    lifetime.  The counter is *per instance* -- the server owns one --
+    rather than a module global: a module-level counter mutated from
+    coroutine context couples unrelated servers in one process and is
+    silently duplicated per worker on fork, colliding ids across
+    workers (the ``coroutine-shared-mutable-global`` lint rule).
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def __call__(self) -> str:
+        return f"r{next(self._counter):08d}"
 
 
-def next_request_id() -> str:
-    return f"r{next(_SEQUENCE):08d}"
+def next_request_id(sequence: RequestIdSequence | None = None) -> str:
+    """Produce one fallback id (kept for API compatibility).
+
+    Without an explicit ``sequence`` each call builds a fresh one and
+    returns ``r00000000`` -- callers needing the monotonic stream (the
+    server) must hold their own :class:`RequestIdSequence`.
+    """
+    return (sequence if sequence is not None else RequestIdSequence())()
 
 
 @dataclass
@@ -161,4 +180,5 @@ class BatchStats:
 
 
 __all__.append("BatchStats")
+__all__.append("RequestIdSequence")
 __all__.append("next_request_id")

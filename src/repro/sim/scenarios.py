@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..seeding import default_generator
 from .carfollowing import CarFollowingModel
 from .engine import SimulationEngine
 from .road import Road
@@ -37,7 +38,7 @@ __all__ = ["cut_in", "stop_and_go_wave", "blocked_lane", "platoon",
 
 def _engine(num_lanes: int = 3, length: float = 2000.0) -> SimulationEngine:
     return SimulationEngine(road=Road(length=length, num_lanes=num_lanes),
-                            rng=np.random.default_rng(0))
+                            rng=default_generator(0))
 
 
 def _calm_profile(desired_speed: float = 22.0) -> DriverProfile:
@@ -125,7 +126,7 @@ def dense_platoon(seed: int = 0, size: int = 30, num_lanes: int = 3,
     hot-path workload with no retirements, unlike open-road episodes
     that drain and leave the step loop underloaded.
     """
-    rng = np.random.default_rng(seed)
+    rng = default_generator(seed)
     engine = SimulationEngine(road=Road(length=road_length, num_lanes=num_lanes),
                               car_following=car_following,
                               rng=rng, reference=reference)

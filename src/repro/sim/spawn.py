@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..seeding import default_generator
 from . import constants
 from .engine import SimulationEngine
 from .road import Road
@@ -172,7 +173,7 @@ def build_episode(seed: int, road: Road | None = None,
     ``car_following`` overrides the default Krauss model; ``reference``
     selects the scalar engine path (for equivalence testing).
     """
-    rng = np.random.default_rng(seed)
+    rng = default_generator(seed)
     engine = SimulationEngine(road=road or Road(), car_following=car_following,
                               rng=rng, history_length=history_length,
                               reference=reference)

@@ -1,0 +1,33 @@
+"""Fixture: blocking primitives in coroutine context (direct + transitive)."""
+
+import asyncio
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+async def handler():
+    time.sleep(0.1)  # expect: blocking-call-in-async
+    data = open("payload.txt").read()  # expect: blocking-call-in-async
+    np.load("weights.npy")  # expect: blocking-call-in-async
+    Path("state.json").read_text()  # expect: blocking-call-in-async
+    await asyncio.sleep(0)
+    return data
+
+
+def sync_helper():
+    time.sleep(1.0)  # expect: blocking-call-in-async
+
+
+async def calls_helper():
+    sync_helper()
+
+
+def blocking_work():
+    time.sleep(5.0)  # never flagged: only reachable through the executor
+
+
+async def uses_executor():
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, blocking_work)

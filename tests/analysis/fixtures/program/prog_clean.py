@@ -1,0 +1,22 @@
+"""Fixture: coroutine + set + RNG idioms that must all stay clean."""
+
+import asyncio
+
+from repro.seeding import default_generator
+
+
+async def good_coroutine():
+    await asyncio.sleep(0.01)
+    items = sorted({"b", "a"})
+    for item in items:
+        yield item
+
+
+def seeded_model(build):
+    rng = default_generator(3)
+    return build(rng)
+
+
+def order_insensitive(values):
+    pool = set(values)
+    return len(pool), min(pool), sorted(pool)

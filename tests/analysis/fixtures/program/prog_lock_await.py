@@ -1,0 +1,39 @@
+"""Fixture: threading locks held across awaits / acquired in coroutines."""
+
+import asyncio
+import threading
+
+_lock = threading.Lock()
+
+
+async def critical():
+    with _lock:  # expect: lock-held-across-await
+        await asyncio.sleep(0)
+
+
+async def acquires():
+    _lock.acquire()  # expect: lock-held-across-await
+    try:
+        await asyncio.sleep(0)
+    finally:
+        _lock.release()
+
+
+class Worker:
+    def __init__(self):
+        self.guard = threading.RLock()
+
+    async def step(self):
+        with self.guard:  # expect: lock-held-across-await
+            await asyncio.sleep(0)
+
+
+async def uses_async_lock():
+    lock = asyncio.Lock()
+    async with lock:
+        await asyncio.sleep(0)
+
+
+def sync_user():
+    with _lock:
+        return 1

@@ -1,0 +1,39 @@
+"""Fixture: raw np.random generators escaping into program code."""
+
+import numpy as np
+
+from repro.seeding import default_generator
+
+
+class Model:
+    def __init__(self, rng):
+        self.rng = rng
+
+
+def build(rng):
+    return Model(rng)
+
+
+def positional_flow():
+    rng = np.random.default_rng(7)
+    return build(rng)  # expect: rng-taint
+
+
+def kwarg_flow():
+    return Model(rng=np.random.default_rng(3))  # expect: rng-taint
+
+
+class Holder:
+    def __init__(self):
+        self.rng = np.random.default_rng(5)  # expect: rng-taint
+
+
+def local_only():
+    # Never escapes: seeded local stream used in place is not a flow.
+    rng = np.random.default_rng(11)
+    return float(rng.standard_normal())
+
+
+def sanctioned_flow():
+    rng = default_generator(3)
+    return build(rng)

@@ -1,0 +1,25 @@
+"""Fixture: set iteration order reaching ordered results."""
+
+VALID = {"a", "b", "c"}
+
+
+def collect(items):
+    chosen = set(items)
+    out = []
+    for item in chosen:  # expect: nondeterministic-iteration
+        out.append(item)
+    ordered = [item for item in VALID]  # expect: nondeterministic-iteration
+    listed = list(chosen)  # expect: nondeterministic-iteration
+    total = sum({1.0, 2.0, 3.0})  # expect: nondeterministic-iteration
+    safe = sorted(chosen)
+    count = len({item for item in items})
+    has_a = any(item == "a" for item in chosen)
+    return out, ordered, listed, total, safe, count, has_a
+
+
+def union_flow(extra):
+    merged = VALID | set(extra)
+    for item in merged:  # expect: nondeterministic-iteration
+        yield item
+    for item in sorted(VALID - {"a"}):
+        yield item

@@ -1,0 +1,26 @@
+"""Fixture: module-global mutable state mutated from coroutine context."""
+
+import itertools
+
+REGISTRY = {}
+LOG = []
+_ids = itertools.count()
+
+
+async def register(name):
+    REGISTRY[name] = 1  # expect: coroutine-shared-mutable-global
+    LOG.append(name)  # expect: coroutine-shared-mutable-global
+    return make_id()
+
+
+def make_id():
+    return next(_ids)  # expect: coroutine-shared-mutable-global
+
+
+async def reads_only(name):
+    return REGISTRY.get(name)
+
+
+def sync_writer(name):
+    # Not coroutine-reachable: mutation from plain sync code is fine.
+    LOG.append(name)

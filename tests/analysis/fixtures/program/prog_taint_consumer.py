@@ -1,0 +1,13 @@
+"""Fixture (multi-file taint): consumer laundering an RNG via a helper."""
+
+from prog_taint_helper import make_stream, make_stream_indirect
+from prog_taint_sink import run_sim
+
+
+def main():
+    rng = make_stream(3)
+    return run_sim(rng)  # expect: rng-taint
+
+
+def indirect():
+    return run_sim(make_stream_indirect(5))  # expect: rng-taint

@@ -1,0 +1,13 @@
+"""Fixture (multi-file taint): helper returning a raw generator."""
+
+import numpy as np
+
+
+def make_stream(seed):
+    return np.random.default_rng(seed)
+
+
+def make_stream_indirect(seed):
+    # Second hop: taints through the summary fixpoint, not just the
+    # direct construction.
+    return make_stream(seed)

@@ -1,0 +1,5 @@
+"""Fixture (multi-file taint): the numerics sink."""
+
+
+def run_sim(rng):
+    return rng.standard_normal()

@@ -1,0 +1,194 @@
+"""Unit tests for the import/call-graph substrate of the program pass."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.callgraph import (CallGraph, build_call_graph, dotted_name,
+                                      infer_local_types, module_name_for)
+
+
+def graph_from(files: dict[str, str], tmp_path: Path) -> CallGraph:
+    parsed = []
+    for name, source in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        parsed.append((str(path), ast.parse(source)))
+    return build_call_graph(parsed)
+
+
+def resolve_in(graph: CallGraph, qualname: str, snippet_index: int = 0):
+    """Resolve the Nth Call inside the named function."""
+    info = graph.functions[qualname]
+    module = graph.modules[info.module]
+    calls = [node for node in ast.walk(info.node)
+             if isinstance(node, ast.Call)]
+    locals_ = infer_local_types(info.node, graph, module)
+    return graph.resolve_call(calls[snippet_index], info, locals_)
+
+
+# ----------------------------------------------------------------------
+# module naming
+# ----------------------------------------------------------------------
+def test_module_name_walks_package_chain(tmp_path):
+    pkg = tmp_path / "pkg" / "sub"
+    pkg.mkdir(parents=True)
+    (tmp_path / "pkg" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("")
+    assert module_name_for(pkg / "mod.py") == "pkg.sub.mod"
+    assert module_name_for(pkg / "__init__.py") == "pkg.sub"
+
+
+def test_packageless_script_uses_stem(tmp_path):
+    script = tmp_path / "quickstart.py"
+    script.write_text("")
+    assert module_name_for(script) == "quickstart"
+
+
+def test_stem_collision_gets_deduplicated(tmp_path):
+    graph = graph_from({
+        "a/run.py": "def fa():\n    pass\n",
+        "b/run.py": "def fb():\n    pass\n",
+    }, tmp_path)
+    assert len(graph.modules) == 2
+    assert len(graph.functions) == 2
+
+
+# ----------------------------------------------------------------------
+# name + import resolution
+# ----------------------------------------------------------------------
+def test_dotted_name():
+    assert dotted_name(ast.parse("a.b.c", mode="eval").body) == "a.b.c"
+    assert dotted_name(ast.parse("f().x", mode="eval").body) is None
+
+
+def test_aliased_module_import_resolves_external_dotted(tmp_path):
+    graph = graph_from({"m.py": (
+        "import time as t\n"
+        "def f():\n"
+        "    t.sleep(1)\n")}, tmp_path)
+    assert resolve_in(graph, "m.f") == "time.sleep"
+
+
+def test_aliased_from_import_resolves_into_program(tmp_path):
+    graph = graph_from({
+        "lib.py": "def helper():\n    pass\n",
+        "m.py": (
+            "from lib import helper as h\n"
+            "def f():\n"
+            "    h()\n"),
+    }, tmp_path)
+    assert resolve_in(graph, "m.f") == "lib.helper"
+    assert "lib.helper" in graph.callees("m.f")
+
+
+def test_relative_import_binding(tmp_path):
+    graph = graph_from({
+        "pkg/__init__.py": "",
+        "pkg/types.py": "def make():\n    pass\n",
+        "pkg/server.py": (
+            "from .types import make\n"
+            "def f():\n"
+            "    make()\n"),
+    }, tmp_path)
+    assert "pkg.types.make" in graph.callees("pkg.server.f")
+
+
+# ----------------------------------------------------------------------
+# methods, nested defs, instance typing
+# ----------------------------------------------------------------------
+def test_self_method_and_base_class_resolution(tmp_path):
+    graph = graph_from({"m.py": (
+        "class Base:\n"
+        "    def shared(self):\n"
+        "        pass\n"
+        "class Child(Base):\n"
+        "    def f(self):\n"
+        "        self.own()\n"
+        "        self.shared()\n"
+        "    def own(self):\n"
+        "        pass\n")}, tmp_path)
+    callees = graph.callees("m.Child.f")
+    assert "m.Child.own" in callees
+    assert "m.Base.shared" in callees
+
+
+def test_nested_def_shadows_module_scope(tmp_path):
+    graph = graph_from({"m.py": (
+        "def helper():\n"
+        "    pass\n"
+        "def outer():\n"
+        "    def helper():\n"
+        "        pass\n"
+        "    helper()\n")}, tmp_path)
+    assert graph.callees("m.outer") == {"m.outer.helper"}
+
+
+def test_local_instance_typing_single_assignment(tmp_path):
+    graph = graph_from({"m.py": (
+        "class Engine:\n"
+        "    def step(self):\n"
+        "        pass\n"
+        "def once():\n"
+        "    e = Engine()\n"
+        "    e.step()\n"
+        "def twice():\n"
+        "    e = Engine()\n"
+        "    e = None\n"
+        "    e.step()\n")}, tmp_path)
+    assert "m.Engine.step" in graph.callees("m.once")
+    # Reassigned name: no type claimed, no edge (under-approximation).
+    assert "m.Engine.step" not in graph.callees("m.twice")
+
+
+def test_init_attribute_typing_resolves_attr_method_calls(tmp_path):
+    graph = graph_from({"m.py": (
+        "class Batcher:\n"
+        "    def offer(self):\n"
+        "        pass\n"
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self.batcher = Batcher()\n"
+        "    def submit(self):\n"
+        "        self.batcher.offer()\n")}, tmp_path)
+    assert "m.Batcher.offer" in graph.callees("m.Server.submit")
+
+
+def test_class_call_adds_constructor_edge(tmp_path):
+    graph = graph_from({"m.py": (
+        "class Model:\n"
+        "    def __init__(self):\n"
+        "        pass\n"
+        "def build():\n"
+        "    return Model()\n")}, tmp_path)
+    assert "m.Model.__init__" in graph.callees("m.build")
+
+
+# ----------------------------------------------------------------------
+# async reachability
+# ----------------------------------------------------------------------
+def test_async_reachable_walks_sync_chains(tmp_path):
+    graph = graph_from({"m.py": (
+        "def deep():\n"
+        "    pass\n"
+        "def mid():\n"
+        "    deep()\n"
+        "async def top():\n"
+        "    mid()\n"
+        "def unrelated():\n"
+        "    pass\n")}, tmp_path)
+    reachable = graph.async_reachable()
+    assert {"m.top", "m.mid", "m.deep"} <= reachable
+    assert "m.unrelated" not in reachable
+
+
+def test_executor_callable_produces_no_edge(tmp_path):
+    graph = graph_from({"m.py": (
+        "import asyncio\n"
+        "def work():\n"
+        "    pass\n"
+        "async def top():\n"
+        "    loop = asyncio.get_running_loop()\n"
+        "    await loop.run_in_executor(None, work)\n")}, tmp_path)
+    assert "m.work" not in graph.async_reachable()

@@ -1,0 +1,158 @@
+"""Incremental cache + driver + baseline behavior.
+
+The cache tests run over a generated corpus in ``tmp_path`` so hit
+ratios and timings are measured against a tree this test controls:
+edit -> the finding is re-found; revert -> the pre-edit entry hits
+again; unchanged tree -> >=95% of files served from cache and the
+second run is measurably faster (the ISSUE's acceptance bar).
+"""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cache import LintCache, analyzer_fingerprint, content_hash
+from repro.analysis.driver import (changed_files, lint_project, load_baseline,
+                                   new_findings, write_baseline)
+from repro.analysis.linting import Finding
+
+N_FILES = 24
+
+
+@pytest.fixture()
+def project(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    for index in range(N_FILES):
+        body = "\n".join(
+            f"def fn_{index}_{k}(value):\n"
+            f"    return value + {k}\n" for k in range(12))
+        (src / f"mod_{index:02d}.py").write_text(
+            f'"""Generated module {index}."""\n\n{body}\n')
+    return tmp_path
+
+
+def run(project, **kwargs):
+    cache = LintCache(project / ".cache")
+    report = lint_project([project / "src"], cache=cache, **kwargs)
+    return report, cache
+
+
+def test_unchanged_tree_hits_cache_and_is_faster(project):
+    first, _ = run(project)
+    assert first.cache_hits == 0
+    assert not first.program_from_cache
+    second, _ = run(project)
+    assert second.files_total == N_FILES
+    assert second.cache_hit_ratio >= 0.95
+    assert second.cache_hits == N_FILES
+    assert second.program_from_cache
+    assert second.duration < first.duration
+    assert second.findings == first.findings == []
+
+
+def test_edit_invalidates_and_refinds(project):
+    run(project)
+    target = project / "src" / "mod_03.py"
+    original = target.read_text()
+    target.write_text(original + "\n\ndef bad(x=[]):\n    return x\n")
+    report, cache = run(project)
+    assert [f.rule for f in report.findings] == ["mutable-default"]
+    # Only the edited file missed; the program entry went stale too.
+    assert cache.hits == N_FILES - 1
+    assert not report.program_from_cache
+
+    # Revert: the pre-edit entry (keyed on content hash) hits again.
+    target.write_text(original)
+    reverted, cache = run(project)
+    assert reverted.findings == []
+    assert cache.hits == N_FILES
+    assert reverted.program_from_cache
+
+
+def test_fingerprint_rotation_drops_entries(project):
+    _, cache = run(project)
+    assert (project / ".cache" / "cache.json").exists()
+    stale = LintCache(project / ".cache")
+    stale._fingerprint = "different"
+    stale._files = {}
+    stale._load()
+    assert stale._files == {}  # foreign fingerprint: nothing trusted
+
+
+def test_content_hash_and_fingerprint_are_stable():
+    assert content_hash("x = 1\n") == content_hash("x = 1\n")
+    assert content_hash("x = 1\n") != content_hash("x = 2\n")
+    assert analyzer_fingerprint() == analyzer_fingerprint()
+
+
+def test_only_restricts_reporting_but_not_digest(project):
+    run(project)
+    only = {str(project / "src" / "mod_00.py")}
+    report, cache = run(project, only=only)
+    assert report.files_total == 1
+    # Program entry still hits: the digest spans the unchanged tree.
+    assert report.program_from_cache
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def _finding(rule="mutable-default", path="src/m.py", line=3,
+             message="msg"):
+    return Finding(rule, path, line, 0, message)
+
+
+def test_baseline_roundtrip_absorbs_findings(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    findings = [_finding(), _finding(line=9)]  # same fingerprint twice
+    write_baseline(findings, baseline_path)
+    baseline = load_baseline(baseline_path)
+    assert new_findings(findings, baseline) == []
+    # A third occurrence exceeds the multiset and is new.
+    assert new_findings(findings + [_finding(line=40)], baseline) == [
+        _finding(line=40)]
+    # Line moves do not resurrect grandfathered findings ...
+    assert new_findings([_finding(line=77)], baseline) == []
+    # ... but a different message is a different finding.
+    assert new_findings([_finding(message="other")], baseline) == [
+        _finding(message="other")]
+
+
+def test_missing_baseline_means_everything_is_new(tmp_path):
+    baseline = load_baseline(tmp_path / "missing.json")
+    assert new_findings([_finding()], baseline) == [_finding()]
+
+
+def test_checked_in_baseline_is_empty():
+    repo = Path(__file__).resolve().parents[2]
+    baseline = load_baseline(repo / ".reprolint-baseline.json")
+    assert baseline == {}
+
+
+# ----------------------------------------------------------------------
+# --changed
+# ----------------------------------------------------------------------
+def _git(root, *argv):
+    return subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+        cwd=root, capture_output=True, text=True, check=True)
+
+
+def test_changed_files_vs_head(tmp_path):
+    _git(tmp_path, "init", "-q")
+    tracked = tmp_path / "tracked.py"
+    tracked.write_text("x = 1\n")
+    (tmp_path / "stable.py").write_text("y = 2\n")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+
+    assert changed_files(tmp_path) == set()
+    tracked.write_text("x = 3\n")
+    (tmp_path / "fresh.py").write_text("z = 4\n")
+    assert changed_files(tmp_path) == {"tracked.py", "fresh.py"}
+
+
+def test_changed_files_outside_git_is_none(tmp_path):
+    assert changed_files(tmp_path) is None

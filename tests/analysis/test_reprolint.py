@@ -154,8 +154,10 @@ def test_lint_source_rule_subset():
 def _run_cli(*argv):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
+    # --no-cache keeps CLI tests from touching the repo's real
+    # .reprolint-cache/ state.
     return subprocess.run(
-        [sys.executable, "-m", "repro.cli", "lint", *argv],
+        [sys.executable, "-m", "repro.cli", "lint", "--no-cache", *argv],
         capture_output=True, text=True, env=env, cwd=REPO)
 
 

@@ -1,0 +1,79 @@
+"""SARIF output: schema-required fields, catalogue completeness, CLI path."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import RULES
+from repro.analysis.linting import Finding
+from repro.analysis.program import PROGRAM_RULES
+from repro.analysis.sarif import (SARIF_SCHEMA_URI, SARIF_VERSION,
+                                  render_sarif, to_sarif)
+
+REPO = Path(__file__).resolve().parents[2]
+
+SAMPLE = [
+    Finding("bare-except", "src/repro/x.py", 7, 4, "bare except ..."),
+    Finding("rng-taint", "examples\\win.py", 12, 0, "np.random ..."),
+]
+
+
+def test_document_required_fields():
+    document = to_sarif(SAMPLE)
+    assert document["$schema"] == SARIF_SCHEMA_URI
+    assert document["version"] == SARIF_VERSION
+    (run,) = document["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    assert driver["informationUri"]
+    assert driver["version"]
+    assert len(run["results"]) == 2
+
+
+def test_rule_catalogue_covers_every_registered_rule():
+    driver = to_sarif([])["runs"][0]["tool"]["driver"]
+    ids = {rule["id"] for rule in driver["rules"]}
+    assert set(RULES) <= ids
+    assert set(PROGRAM_RULES) <= ids
+    assert {"syntax-error", "bad-suppression"} <= ids
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+
+
+def test_result_fields_and_locations():
+    result = to_sarif(SAMPLE)["runs"][0]["results"][0]
+    assert result["ruleId"] == "bare-except"
+    assert result["level"] == "error"
+    assert result["message"]["text"] == "bare except ..."
+    (location,) = result["locations"]
+    physical = location["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == "src/repro/x.py"
+    assert physical["region"]["startLine"] == 7
+    assert physical["region"]["startColumn"] == 5  # SARIF columns are 1-based
+
+
+def test_uris_use_forward_slashes():
+    results = to_sarif(SAMPLE)["runs"][0]["results"]
+    uri = results[1]["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+    assert "\\" not in uri
+
+
+def test_render_is_valid_json():
+    assert json.loads(render_sarif(SAMPLE))["version"] == SARIF_VERSION
+
+
+def test_cli_sarif_output_file(tmp_path):
+    out = tmp_path / "reprolint.sarif"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    bad = REPO / "tests" / "analysis" / "fixtures" / "bad_bare_except.py"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", str(bad), "--no-cache",
+         "--format", "sarif", "--output", str(out)],
+        capture_output=True, text=True, env=env, cwd=REPO)
+    assert result.returncode == 0, result.stderr
+    document = json.loads(out.read_text())
+    assert [r["ruleId"] for r in document["runs"][0]["results"]] == [
+        "bare-except"]
