@@ -11,6 +11,13 @@ a real ``SIGKILL``, state recovered purely from disk.
 Usage::
 
     PYTHONPATH=src python scripts/kill_resume_smoke.py [--episodes 6]
+    PYTHONPATH=src python scripts/kill_resume_smoke.py --workers 2
+
+With ``--workers >= 2`` the run under test is the parallel
+actor-learner trainer: the SIGKILL hits the learner while worker
+processes are live (they detect the orphaning and exit on their next
+queue poll), and the resumed run must still reproduce the
+uninterrupted reference bit for bit.
 """
 
 from __future__ import annotations
@@ -31,13 +38,18 @@ CHECKPOINT_NAME = "train.ckpt.npz"
 
 
 def train_command(out: Path, log: Path, args: argparse.Namespace) -> list[str]:
-    return [sys.executable, "-m", "repro.cli", "train",
-            "--scale", "quick", "--skip-perception",
-            "--seed", str(args.seed),
-            "--episodes", str(args.episodes),
-            "--max-steps", str(args.max_steps),
-            "--checkpoint-every", "1",
-            "--out", str(out), "--log-json", str(log)]
+    command = [sys.executable, "-m", "repro.cli", "train",
+               "--scale", "quick", "--skip-perception",
+               "--seed", str(args.seed),
+               "--episodes", str(args.episodes),
+               "--max-steps", str(args.max_steps),
+               "--checkpoint-every", "1",
+               "--out", str(out), "--log-json", str(log)]
+    if args.workers >= 2:
+        # Parallel runs checkpoint on sync_every round boundaries; a
+        # small interval keeps the first checkpoint early enough to kill.
+        command += ["--workers", str(args.workers), "--sync-every", "2"]
+    return command
 
 
 def run_env() -> dict[str, str]:
@@ -91,6 +103,11 @@ def main() -> int:
     parser.add_argument("--max-steps", type=int, default=25)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--kill-timeout", type=float, default=300.0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help=">= 2 smoke-tests the parallel actor-learner "
+                             "trainer: the SIGKILL also orphans live worker "
+                             "processes, and resume must still reproduce "
+                             "the uninterrupted parallel run exactly")
     args = parser.parse_args()
 
     workdir = Path(tempfile.mkdtemp(prefix="kill-resume-smoke-"))
@@ -109,7 +126,10 @@ def main() -> int:
         reference = run_to_completion(reference_out,
                                       workdir / "reference.json", args)
 
-        for key in ("episode_rewards", "episode_steps", "collisions"):
+        # transition_digest certifies the consumed stream for parallel
+        # runs (it is null on the serial path, equal either way).
+        for key in ("episode_rewards", "episode_steps", "collisions",
+                    "transition_digest"):
             if resumed[key] != reference[key]:
                 raise SystemExit(
                     f"MISMATCH in {key}:\n  resumed:   {resumed[key]}\n"

@@ -7,7 +7,7 @@ rules reason over call edges -- a ``time.sleep`` buried two synchronous
 calls below an ``async def``, or an RNG constructed in one module and
 laundered through a helper into simulator numerics in another.
 
-Two packs ship on top of the graph:
+Three packs ship on top of the graph:
 
 **Async-concurrency pack** (aimed at ``repro.serve`` and the upcoming
 multi-process trainer):
@@ -35,6 +35,14 @@ multi-process trainer):
   numerics, an ``rng=`` argument, object state) must provably
   originate in :mod:`repro.seeding`.  Seeded-at-the-call-site is no
   longer enough; the seed policy lives in exactly one module.
+
+**Process-boundary pack** (guarding the actor-learner trainer):
+
+* ``cross-process-rng`` -- a live ``Generator`` shipped through
+  ``multiprocessing.Process(args=...)`` (pickling duplicates the
+  stream state), or a module-level RNG read by code reachable from a
+  ``Process`` target (``spawn`` re-executes the module per child, so
+  every worker gets an identically seeded private copy).
 
 The pass runs over the *shipped program* -- ``src``, ``examples``,
 ``scripts`` -- not over ``tests``/``benchmarks``/fixture corpora, whose
@@ -635,6 +643,7 @@ _RNG_CONSTRUCTORS = frozenset({
 })
 _SANCTIONED_ORIGINS = frozenset({
     "repro.seeding.resolve_rng", "repro.seeding.default_generator",
+    "repro.seeding.spawn_stream",
 })
 #: Modules whose constructions are the sanctioned origins themselves.
 _SANCTIONED_MODULES = ("repro.seeding",)
@@ -794,3 +803,246 @@ class RngTaint(ProgramRule):
                 qualname=f"{file.module}.<module>", module=file.module,
                 path=file.path, node=file.tree, is_async=False)
             yield from self._scan_function(program, pseudo, file, summaries)
+
+
+# ----------------------------------------------------------------------
+# process-boundary pack
+# ----------------------------------------------------------------------
+
+_PROCESS_CONSTRUCTORS = frozenset({
+    "multiprocessing.Process", "multiprocessing.context.Process",
+})
+_CONTEXT_FACTORIES = frozenset({"multiprocessing.get_context"})
+#: Every call whose return value is a live Generator object, sanctioned
+#: or not -- for the *cross-process* rule the construction site being
+#: blessed does not help: pickling any live stream into a child
+#: duplicates its state.
+_STREAM_ORIGINS = _RNG_CONSTRUCTORS | _SANCTIONED_ORIGINS
+
+
+def _resolve_callable_ref(graph: CallGraph, info: FunctionInfo,
+                          expr: ast.expr) -> str | None:
+    """Resolve a non-call function reference (``target=worker_main``)."""
+    module = graph.modules[info.module]
+    if isinstance(expr, ast.Name):
+        nested = f"{info.qualname}.{expr.id}"
+        if nested in graph.functions:
+            return nested
+        owner = info.qualname.rsplit(".", 1)[0]
+        while owner and owner != module.name:
+            candidate = f"{owner}.{expr.id}"
+            if candidate in graph.functions:
+                return candidate
+            owner = owner.rsplit(".", 1)[0]
+        return module.resolve_local(expr.id)
+    dotted = dotted_name(expr)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    base = module.resolve_local(head)
+    if base is None:
+        return None
+    resolved = f"{base}.{rest}" if rest else base
+    if resolved in graph.functions:
+        return resolved
+    owner, _, attr = resolved.rpartition(".")
+    owning = graph.modules.get(owner)
+    if owning is not None and attr in owning.functions:
+        return owning.functions[attr].qualname
+    return resolved
+
+
+def _module_rng_globals(module: ModuleInfo) -> dict[str, int]:
+    """Module-scope names bound to live Generator objects -> def line."""
+    found: dict[str, int] = {}
+    for node in module.tree.body:
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and _resolve_module_call(module, node.value) in _STREAM_ORIGINS):
+            found[node.targets[0].id] = node.lineno
+    return found
+
+
+def _shadowed_names(func: ast.AST) -> set[str]:
+    """Names rebound inside ``func`` (params + simple local assignments),
+    minus explicit ``global`` declarations."""
+    shadowed: set[str] = set()
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        arguments = func.args
+        for arg in (*arguments.posonlyargs, *arguments.args,
+                    *arguments.kwonlyargs):
+            shadowed.add(arg.arg)
+        for vararg in (arguments.vararg, arguments.kwarg):
+            if vararg is not None:
+                shadowed.add(vararg.arg)
+    declared_global: set[str] = set()
+    for node in own_nodes(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Assign):
+            shadowed.update(target.id for target in node.targets
+                            if isinstance(target, ast.Name))
+        elif isinstance(node, (ast.AugAssign, ast.For)):
+            target = node.target
+            if isinstance(target, ast.Name):
+                shadowed.add(target.id)
+    return shadowed - declared_global
+
+
+@program_rule
+class CrossProcessRng(ProgramRule):
+    """RNG streams must never cross a process boundary.
+
+    Two ways a stream leaks into a child process, both silent
+    determinism killers:
+
+    * a live ``Generator`` in ``Process(args=...)`` -- pickling
+      duplicates the bit-generator state, so parent and child draw the
+      *same* sequence while the checkpoint layer restores only the
+      parent's copy;
+    * a module-level generator read by any function reachable from a
+      ``Process`` ``target=`` -- under the ``spawn`` start method every
+      child re-executes the module and constructs its *own* copy, one
+      per process, all identically seeded.
+
+    Ship plain seed material instead (ints, ``(root, key)`` tuples) and
+    derive the stream inside the child via
+    ``repro.seeding.spawn_stream``, whose ``spawn_key`` addressing makes
+    each derived stream a pure function of the key -- that is exactly
+    what the parallel trainer's workers do.  ``ctx.Process`` from a
+    local ``multiprocessing.get_context(...)`` binding is recognized;
+    callables crossing the boundary inside containers or functools
+    partials are not (documented false negative).
+    """
+
+    id = "cross-process-rng"
+    summary = "RNG stream crossing a process boundary (args or spawn-read global)"
+
+    def _context_names(self, program: Program, info: FunctionInfo,
+                       local_types: dict[str, str]) -> set[str]:
+        names: set[str] = set()
+        for node in own_nodes(info.node):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                    and program.graph.resolve_call(node.value, info, local_types)
+                    in _CONTEXT_FACTORIES):
+                names.add(node.targets[0].id)
+        return names
+
+    def _process_calls(self, program: Program, info: FunctionInfo
+                       ) -> Iterator[ast.Call]:
+        graph = program.graph
+        module = graph.modules[info.module]
+        local_types = infer_local_types(info.node, graph, module)
+        contexts = self._context_names(program, info, local_types)
+        for node in own_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if graph.resolve_call(node, info, local_types) in _PROCESS_CONSTRUCTORS:
+                yield node
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "Process"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in contexts):
+                yield node
+
+    def _stream_locals(self, program: Program, info: FunctionInfo) -> set[str]:
+        graph = program.graph
+        module = graph.modules[info.module]
+        local_types = infer_local_types(info.node, graph, module)
+        names: set[str] = set()
+        for node in own_nodes(info.node):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                    and graph.resolve_call(node.value, info, local_types)
+                    in _STREAM_ORIGINS):
+                names.add(node.targets[0].id)
+        return names
+
+    def _scan_args(self, program: Program, info: FunctionInfo,
+                   file: ProgramFile, call: ast.Call) -> Iterator[Finding]:
+        graph = program.graph
+        module = graph.modules[info.module]
+        local_types = infer_local_types(info.node, graph, module)
+        stream_locals = self._stream_locals(program, info)
+        payload = next((kw.value for kw in call.keywords if kw.arg == "args"),
+                       None)
+        if not isinstance(payload, (ast.Tuple, ast.List)):
+            return
+        for element in payload.elts:
+            leaking = (isinstance(element, ast.Name)
+                       and element.id in stream_locals)
+            if not leaking and isinstance(element, ast.Call):
+                leaking = (graph.resolve_call(element, info, local_types)
+                           in _STREAM_ORIGINS)
+            if leaking:
+                yield file.ctx.finding(
+                    self.id, element,
+                    f"live np.random Generator in Process(args=...) (in "
+                    f"{info.qualname}): pickling duplicates the stream "
+                    "state across the process boundary; ship seed material "
+                    "and derive the stream in the child via "
+                    "repro.seeding.spawn_stream")
+
+    def _spawn_targets(self, program: Program, info: FunctionInfo,
+                       call: ast.Call) -> Iterator[str]:
+        target = next((kw.value for kw in call.keywords
+                       if kw.arg == "target"), None)
+        if target is None:
+            return
+        resolved = _resolve_callable_ref(program.graph, info, target)
+        if resolved in program.graph.functions:
+            yield resolved
+
+    def run(self, program: Program) -> Iterable[Finding]:
+        graph = program.graph
+        scopes: list[tuple[FunctionInfo, ProgramFile]] = list(
+            program.iter_functions())
+        for file in program.files:
+            scopes.append((FunctionInfo(
+                qualname=f"{file.module}.<module>", module=file.module,
+                path=file.path, node=file.tree, is_async=False), file))
+
+        targets: set[str] = set()
+        for info, file in scopes:
+            for call in self._process_calls(program, info):
+                yield from self._scan_args(program, info, file, call)
+                targets.update(self._spawn_targets(program, info, call))
+        if not targets:
+            return
+
+        rng_globals_by_module: dict[str, dict[str, int]] = {}
+        reported: set[tuple[str, int, int, str]] = set()
+        for qualname in sorted(graph.reachable_from(sorted(targets))):
+            info = graph.functions.get(qualname)
+            if info is None or RngTaint._exempt(info.module):
+                continue
+            if info.module not in rng_globals_by_module:
+                rng_globals_by_module[info.module] = _module_rng_globals(
+                    graph.modules[info.module])
+            rng_globals = rng_globals_by_module[info.module]
+            if not rng_globals:
+                continue
+            file = program.file_for(info)
+            shadowed = _shadowed_names(info.node)
+            for node in own_nodes(info.node):
+                if not (isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Load)
+                        and node.id in rng_globals
+                        and node.id not in shadowed):
+                    continue
+                key = (file.path, node.lineno, node.col_offset, node.id)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield file.ctx.finding(
+                    self.id, node,
+                    f"module-level RNG {node.id!r} (defined line "
+                    f"{rng_globals[node.id]}) is read by {info.qualname}, "
+                    "which runs in a spawned worker process: each child "
+                    "re-executes the module and gets an identically seeded "
+                    "private copy; pass seed material through the task and "
+                    "derive the stream via repro.seeding.spawn_stream")

@@ -67,6 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="train the decision module only")
     train.add_argument("--max-steps", type=int, default=None,
                        help="cap each training episode at this many steps")
+    train.add_argument("--workers", type=int, default=1,
+                       help="actor processes for decision training; >=2 "
+                            "uses the parallel actor-learner trainer "
+                            "(worker-count invariant), 1 keeps the serial "
+                            "loop (see docs/training.md)")
+    train.add_argument("--sync-every", type=int, default=8,
+                       help="episodes per policy broadcast in parallel "
+                            "training (staleness bound; part of the "
+                            "schedule identity)")
+    train.add_argument("--learn-every", type=int, default=1,
+                       help="environment steps between optimization steps")
     train.add_argument("--log-json", default=None,
                        help="write the per-episode training log to this file")
 
@@ -202,13 +213,18 @@ def cmd_train(args: argparse.Namespace) -> int:
         perception = head.train_perception(trajectories, max_egos=6)
         print(f"  final loss {perception.final_loss:.4f}")
     episodes = args.episodes or head.config.training_episodes
-    print(f"training BP-DQN for {episodes} episodes ...")
+    mode = (f"{args.workers} actor workers" if args.workers >= 2
+            else "serial loop")
+    print(f"training BP-DQN for {episodes} episodes ({mode}) ...")
     checkpoint_dir = args.out if args.checkpoint_every > 0 else None
     decision = head.train_decision(episodes=episodes,
                                    checkpoint_dir=checkpoint_dir,
                                    checkpoint_every=args.checkpoint_every,
                                    resume=not args.no_resume,
-                                   max_episode_steps=args.max_steps)
+                                   max_episode_steps=args.max_steps,
+                                   workers=args.workers,
+                                   sync_every=args.sync_every,
+                                   learn_every=args.learn_every)
     if decision.resumed_episodes:
         print(f"  resumed from episode {decision.resumed_episodes}")
     print(f"  collisions {decision.collisions}/{decision.episodes}, "
@@ -224,6 +240,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             "collisions": decision.collisions,
             "nan_rollbacks": decision.nan_rollbacks,
             "resumed_episodes": decision.resumed_episodes,
+            "transition_digest": decision.transition_digest,
         }, indent=2) + "\n")
         print(f"  training log written to {log_path}")
     path = head.save(args.out)

@@ -120,17 +120,54 @@ class HEAD(object):
                        checkpoint_dir: str | Path | None = None,
                        checkpoint_every: int = 0,
                        resume: bool = True,
-                       max_episode_steps: int | None = None) -> RLTrainingLog:
+                       max_episode_steps: int | None = None,
+                       workers: int = 1,
+                       sync_every: int = 8,
+                       learn_every: int = 1) -> RLTrainingLog:
         """Train BP-DQN in the simulator (paper: 4,000 episodes).
 
         With ``checkpoint_dir``/``checkpoint_every`` set, the run is
         crash-safe: training state is snapshotted atomically and a
         killed process resumes to the same learning curve.
+
+        ``workers >= 2`` switches to the actor-learner trainer
+        (:mod:`repro.train`): ``workers`` processes generate episodes
+        against policy snapshots refreshed every ``sync_every``
+        episodes, and the learning curve is bitwise invariant in the
+        worker count -- but it is a *different* schedule from the
+        serial loop, which keeps learning mid-episode; ``workers=1``
+        therefore stays on the serial path so existing runs reproduce.
+        See ``docs/training.md`` for the contract.
         """
+        episodes = episodes or self.config.training_episodes
+        if workers >= 2:
+            import functools
+
+            from ..train import (build_agent, build_env, predictor_state,
+                                 train_agent_parallel)
+            if env is not None:
+                raise ValueError("parallel training builds worker "
+                                 "environments from the config; a "
+                                 "pre-built env cannot be shipped to "
+                                 "worker processes")
+            return train_agent_parallel(
+                self.agent,
+                functools.partial(build_env, self.config,
+                                  predictor=predictor_state(self),
+                                  max_steps=max_episode_steps),
+                episodes, workers=workers,
+                agent_factory=functools.partial(build_agent, self.config,
+                                                learner=False),
+                sync_every=sync_every, learn_every=learn_every,
+                seed_offset=seed_offset,
+                max_episode_steps=max_episode_steps,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every, resume=resume)
         env = env or self.make_env()
         return train_agent(self.agent, env,
-                           episodes=episodes or self.config.training_episodes,
+                           episodes=episodes,
                            seed_offset=seed_offset,
+                           learn_every=learn_every,
                            checkpoint_dir=checkpoint_dir,
                            checkpoint_every=checkpoint_every,
                            resume=resume,

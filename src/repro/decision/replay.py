@@ -7,13 +7,17 @@ Stores transitions as pre-allocated numpy arrays (the paper uses a
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from .pamdp import AugmentedState, CURRENT_SHAPE, FUTURE_SHAPE
 from ..seeding import resolve_rng
 
-__all__ = ["Transition", "Batch", "ReplayBuffer"]
+__all__ = ["Transition", "Batch", "TransitionBatch", "ReplayBuffer"]
+
+#: Width of the agent-specific aux payload column (see :class:`Transition`).
+AUX_WIDTH = 6
 
 
 @dataclass(frozen=True)
@@ -47,6 +51,80 @@ class Batch:
 
     def __len__(self) -> int:
         return len(self.reward)
+
+
+@dataclass(frozen=True)
+class TransitionBatch:
+    """A run of transitions in storage layout (row i = i-th transition).
+
+    This is the wire format of multi-process training: a worker packs a
+    whole episode into nine arrays (cheap to pickle, one memcpy each),
+    and the learner inserts slices of it with
+    :meth:`ReplayBuffer.push_many` instead of paying the per-
+    :class:`Transition` Python loop.  Field layout and dtypes match the
+    buffer's internal arrays exactly; terminal transitions store zeros
+    for the next state and the aux column is zero-padded to
+    :data:`AUX_WIDTH`, byte-for-byte what :meth:`ReplayBuffer.push`
+    would have written.
+    """
+
+    current: np.ndarray       # (N, 7, 4)
+    future: np.ndarray        # (N, 6, 4)
+    behavior: np.ndarray      # (N,) int64
+    accel: np.ndarray         # (N,)
+    reward: np.ndarray        # (N,)
+    next_current: np.ndarray  # (N, 7, 4)
+    next_future: np.ndarray   # (N, 6, 4)
+    done: np.ndarray          # (N,) float 0/1
+    aux: np.ndarray           # (N, 6)
+
+    _FIELDS = ("current", "future", "behavior", "accel", "reward",
+               "next_current", "next_future", "done", "aux")
+
+    def __len__(self) -> int:
+        return len(self.reward)
+
+    def __getitem__(self, index: slice) -> "TransitionBatch":
+        if not isinstance(index, slice):
+            raise TypeError("TransitionBatch slices whole runs; index rows "
+                            "via the field arrays")
+        return TransitionBatch(**{name: getattr(self, name)[index]
+                                  for name in self._FIELDS})
+
+    @staticmethod
+    def from_transitions(transitions: Sequence[Transition]) -> "TransitionBatch":
+        """Pack :class:`Transition` objects into storage layout."""
+        size = len(transitions)
+        batch = TransitionBatch(
+            current=np.zeros((size, *CURRENT_SHAPE)),
+            future=np.zeros((size, *FUTURE_SHAPE)),
+            behavior=np.zeros(size, dtype=np.int64),
+            accel=np.zeros(size),
+            reward=np.zeros(size),
+            next_current=np.zeros((size, *CURRENT_SHAPE)),
+            next_future=np.zeros((size, *FUTURE_SHAPE)),
+            done=np.zeros(size),
+            aux=np.zeros((size, AUX_WIDTH)),
+        )
+        for row, transition in enumerate(transitions):
+            batch.current[row] = transition.state.current
+            batch.future[row] = transition.state.future
+            batch.behavior[row] = transition.behavior
+            batch.accel[row] = transition.accel
+            batch.reward[row] = transition.reward
+            if transition.next_state is not None:
+                batch.next_current[row] = transition.next_state.current
+                batch.next_future[row] = transition.next_state.future
+            batch.done[row] = 1.0 if transition.done else 0.0
+            if transition.aux is not None:
+                payload = np.asarray(transition.aux,
+                                     dtype=np.float64).reshape(-1)
+                batch.aux[row, :payload.size] = payload
+        return batch
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Field name -> array mapping (views, not copies)."""
+        return {name: getattr(self, name) for name in self._FIELDS}
 
 
 class ReplayBuffer:
@@ -94,6 +172,39 @@ class ReplayBuffer:
             self._aux[index, :payload.size] = payload
         self._cursor = (self._cursor + 1) % self.capacity
         self._size = min(self._size + 1, self.capacity)
+
+    def push_many(self,
+                  transitions: "TransitionBatch | Iterable[Transition]") -> None:
+        """Insert a run of transitions with vectorized slice assignment.
+
+        Exactly equivalent to calling :meth:`push` on each transition in
+        order -- same final arrays, ``_size`` and ``_cursor`` bit for bit
+        (property-tested in ``tests/decision/test_push_many.py``) -- but
+        one or two slice copies per field instead of a Python loop per
+        transition, which is what lets the learner drain whole worker
+        episodes per queue message.
+        """
+        if not isinstance(transitions, TransitionBatch):
+            transitions = TransitionBatch.from_transitions(list(transitions))
+        count = len(transitions)
+        if count == 0:
+            return
+        start = self._cursor
+        final_cursor = (start + count) % self.capacity
+        if count > self.capacity:
+            # only the trailing window survives sequential overwriting;
+            # its first surviving row would have cycled to this slot
+            start = (start + count - self.capacity) % self.capacity
+            transitions = transitions[count - self.capacity:]
+            count = self.capacity
+        head = min(count, self.capacity - start)
+        for name, column in transitions.arrays().items():
+            storage = getattr(self, "_" + name)
+            storage[start:start + head] = column[:head]
+            if head < count:
+                storage[:count - head] = column[head:]
+        self._cursor = final_cursor
+        self._size = min(self._size + count, self.capacity)
 
     def sample(self, batch_size: int) -> Batch:
         """Uniformly sample a mini-batch (with replacement when small)."""

@@ -29,10 +29,15 @@ from .environment import DrivingEnv
 from .pamdp import ParameterizedAction
 from .replay import Transition
 
-__all__ = ["RLTrainingLog", "train_agent", "NaNLossError", "CHECKPOINT_NAME"]
+__all__ = ["RLTrainingLog", "train_agent", "NaNLossError", "CHECKPOINT_NAME",
+           "EpisodeRunner", "EpisodeOutcome", "LearningSink"]
 
 #: Optional hook rewriting actions before execution (DRL-SC safety check).
 ActionFilter = Callable[[DrivingEnv, ParameterizedAction], ParameterizedAction]
+
+#: Per-transition consumer driven by :class:`EpisodeRunner`; returns True
+#: when training diverged and the episode must be abandoned.
+TransitionSink = Callable[[Transition], bool]
 
 #: File name of the rolling training checkpoint inside ``checkpoint_dir``.
 CHECKPOINT_NAME = "train.ckpt.npz"
@@ -52,6 +57,11 @@ class RLTrainingLog:
     wall_time: float = 0.0
     nan_rollbacks: int = 0
     resumed_episodes: int = 0
+    #: Chained SHA-256 over the consumed transition stream, set by the
+    #: parallel trainer (``repro.train``); equality across worker counts
+    #: certifies the optimizer saw the identical sequence.  The serial
+    #: loop leaves it None.
+    transition_digest: str | None = None
 
     @property
     def episodes(self) -> int:
@@ -84,6 +94,92 @@ def _restore(path: Path, agent: PamdpAgent, log: RLTrainingLog) -> tuple[int, fl
 
 def _finite(losses: dict[str, float] | None) -> bool:
     return losses is None or all(np.isfinite(v) for v in losses.values())
+
+
+@dataclass(frozen=True)
+class EpisodeOutcome:
+    """What one :class:`EpisodeRunner` episode produced."""
+
+    reward_sum: float
+    steps: int
+    collided: bool
+    diverged: bool  # sink reported non-finite training state; episode aborted
+
+    @property
+    def mean_reward(self) -> float:
+        return self.reward_sum / max(self.steps, 1)
+
+
+class LearningSink:
+    """The serial per-step consumer: store, check finiteness, optimize.
+
+    Mirrors the exact order of operations the training loop has always
+    had -- ``observe`` (which advances the exploration clock) happens
+    before the finiteness check, and the optimization step fires on the
+    post-observe step count -- so the refactored loop is bit-identical
+    to the original.
+    """
+
+    def __init__(self, agent: PamdpAgent, learn_every: int = 1) -> None:
+        self.agent = agent
+        self.learn_every = learn_every
+
+    def __call__(self, transition: Transition) -> bool:
+        self.agent.observe(transition)
+        if not np.isfinite(transition.reward):
+            return True
+        if self.agent.total_steps % self.learn_every == 0:
+            losses = self.agent.learn()
+            if not _finite(losses):
+                return True
+        return False
+
+
+class EpisodeRunner:
+    """Drive one seeded episode; delegate transition handling to a sink.
+
+    The acting side of training (reset, act/filter/step, transition
+    assembly) is identical whether the consumer learns online (the
+    serial loop's :class:`LearningSink`) or just collects for a learner
+    process (``repro.train``'s worker sink), so both paths share this
+    runner -- the only way to *guarantee* a worker generates exactly the
+    trajectory the serial loop would have.
+    """
+
+    def __init__(self, env: DrivingEnv,
+                 action_filter: ActionFilter | None = None,
+                 max_episode_steps: int | None = None) -> None:
+        self.env = env
+        self.action_filter = action_filter
+        self.max_episode_steps = max_episode_steps
+
+    def run(self, agent: PamdpAgent, seed: int,
+            sink: TransitionSink) -> EpisodeOutcome:
+        env = self.env
+        state = env.reset(seed)
+        reward_sum = 0.0
+        steps = 0
+        cap = self.max_episode_steps or env.max_steps
+        while steps < cap:
+            action = agent.act(state, explore=True)
+            if self.action_filter is not None:
+                action = self.action_filter(env, action)
+            next_state, breakdown, done, _ = env.step(action)
+            aux = agent.last_aux() if hasattr(agent, "last_aux") else None
+            diverged = sink(Transition(
+                state=state, behavior=int(action.behavior),
+                accel=action.accel, reward=breakdown.total,
+                next_state=next_state, done=done, aux=aux,
+            ))
+            if diverged:
+                return EpisodeOutcome(reward_sum, steps,
+                                      env.result.collided, True)
+            reward_sum += breakdown.total
+            steps += 1
+            if done or next_state is None:
+                break
+            state = next_state
+        return EpisodeOutcome(reward_sum, steps, env.result.collided, False)
 
 
 def train_agent(agent: PamdpAgent, env: DrivingEnv, episodes: int,
@@ -132,11 +228,11 @@ def train_agent(agent: PamdpAgent, env: DrivingEnv, episodes: int,
         log.resumed_episodes = episode
     start = time.perf_counter()
 
+    runner = EpisodeRunner(env, action_filter, max_episode_steps)
+    sink = LearningSink(agent, learn_every)
     while episode < episodes:
-        diverged = _run_training_episode(agent, env, seed_offset + episode,
-                                         learn_every, action_filter,
-                                         max_episode_steps, log)
-        if diverged:
+        outcome = runner.run(agent, seed_offset + episode, sink)
+        if outcome.diverged:
             log.nan_rollbacks += 1
             if (ckpt_path is None or not ckpt_path.exists()
                     or log.nan_rollbacks > max_nan_rollbacks):
@@ -148,6 +244,10 @@ def train_agent(agent: PamdpAgent, env: DrivingEnv, episodes: int,
             # the exact trajectory back into the same divergence
             agent.rng.random(log.nan_rollbacks)
             continue
+        log.episode_rewards.append(outcome.mean_reward)
+        log.episode_steps.append(outcome.steps)
+        if outcome.collided:
+            log.collisions += 1
         episode += 1
         if (ckpt_path is not None and checkpoint_every > 0
                 and episode % checkpoint_every == 0):
@@ -156,40 +256,3 @@ def train_agent(agent: PamdpAgent, env: DrivingEnv, episodes: int,
                             extra=_checkpoint_extra(log, episode, wall))
     log.wall_time = base_wall + (time.perf_counter() - start)
     return log
-
-
-def _run_training_episode(agent: PamdpAgent, env: DrivingEnv, seed: int,
-                          learn_every: int, action_filter: ActionFilter | None,
-                          max_episode_steps: int | None,
-                          log: RLTrainingLog) -> bool:
-    """Run one episode, appending to ``log``; True when training diverged."""
-    state = env.reset(seed)
-    episode_reward = 0.0
-    steps = 0
-    cap = max_episode_steps or env.max_steps
-    while steps < cap:
-        action = agent.act(state, explore=True)
-        if action_filter is not None:
-            action = action_filter(env, action)
-        next_state, breakdown, done, _ = env.step(action)
-        aux = agent.last_aux() if hasattr(agent, "last_aux") else None
-        agent.observe(Transition(
-            state=state, behavior=int(action.behavior), accel=action.accel,
-            reward=breakdown.total, next_state=next_state, done=done, aux=aux,
-        ))
-        if not np.isfinite(breakdown.total):
-            return True
-        if agent.total_steps % learn_every == 0:
-            losses = agent.learn()
-            if not _finite(losses):
-                return True
-        episode_reward += breakdown.total
-        steps += 1
-        if done or next_state is None:
-            break
-        state = next_state
-    log.episode_rewards.append(episode_reward / max(steps, 1))
-    log.episode_steps.append(steps)
-    if env.result.collided:
-        log.collisions += 1
-    return False

@@ -43,8 +43,9 @@ def _replay_buffer_type():
     from ..decision.replay import ReplayBuffer
     return ReplayBuffer
 
-__all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint",
-           "latest_checkpoint", "CHECKPOINT_VERSION"]
+__all__ = ["CheckpointError", "ScheduleMismatchError", "save_checkpoint",
+           "load_checkpoint", "check_schedule", "latest_checkpoint",
+           "CHECKPOINT_VERSION"]
 
 CHECKPOINT_VERSION = 1
 
@@ -57,6 +58,37 @@ _BUFFER_ARRAYS = ("_current", "_future", "_behavior", "_accel", "_reward",
 
 class CheckpointError(RuntimeError):
     """A checkpoint file does not match the object it is loaded into."""
+
+
+class ScheduleMismatchError(CheckpointError):
+    """A checkpoint was produced under a different training schedule."""
+
+
+def check_schedule(extra: dict, expected: dict, path=None) -> None:
+    """Validate a checkpoint's recorded training schedule against ours.
+
+    Parallel training is only bit-reproducible when the *schedule
+    constants* -- root seed, sync interval, learn cadence, seed offset
+    -- match between the run that wrote the checkpoint and the run
+    resuming from it (worker *count* is deliberately absent: it is the
+    one thing the contract says may change).  Resuming under different
+    constants would silently produce a third learning curve that is
+    neither the old run nor a fresh one, so it fails loudly instead.
+    """
+    recorded = extra.get("schedule")
+    if recorded is None:
+        raise ScheduleMismatchError(
+            f"{path or 'checkpoint'} records no training schedule -- it was "
+            f"not written by the parallel trainer")
+    mismatched = {key: (recorded.get(key), value)
+                  for key, value in expected.items()
+                  if recorded.get(key) != value}
+    if mismatched:
+        detail = ", ".join(f"{key}: checkpoint={old!r} run={new!r}"
+                           for key, (old, new) in sorted(mismatched.items()))
+        raise ScheduleMismatchError(
+            f"{path or 'checkpoint'} was written under a different "
+            f"schedule ({detail}); resuming would not reproduce either run")
 
 
 # ----------------------------------------------------------------------

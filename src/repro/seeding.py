@@ -20,10 +20,43 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["DEFAULT_SEED", "default_generator", "resolve_rng"]
+__all__ = ["DEFAULT_SEED", "default_generator", "resolve_rng",
+           "spawn_sequence", "spawn_stream"]
 
 #: Seed used whenever a component is built without an injected generator.
 DEFAULT_SEED = 0
+
+
+def spawn_sequence(root: int | np.random.SeedSequence,
+                   *key: int) -> np.random.SeedSequence:
+    """A child ``SeedSequence`` of ``root`` addressed by ``key``.
+
+    The child is a pure function of ``(root, key)`` -- the same address
+    always yields the same stream, no matter how many other children
+    exist or in which order they are spawned.  This is what makes
+    parallel experience generation scheduling-independent: worker k's
+    stream for episode e is ``spawn_sequence(seed, e)`` regardless of
+    which worker runs it, how many workers there are, or when.
+
+    Implemented with ``spawn_key`` addressing rather than
+    ``SeedSequence.spawn()`` because ``spawn()`` is *stateful* (each call
+    advances ``n_children_spawned``), which would make streams depend on
+    spawn order -- exactly the nondeterminism this helper exists to rule
+    out.
+    """
+    if isinstance(root, np.random.SeedSequence):
+        entropy = root.entropy
+        base_key = tuple(root.spawn_key)
+    else:
+        entropy = root
+        base_key = ()
+    return np.random.SeedSequence(entropy=entropy, spawn_key=base_key + key)
+
+
+def spawn_stream(root: int | np.random.SeedSequence,
+                 *key: int) -> np.random.Generator:
+    """A seeded generator on the :func:`spawn_sequence` stream for ``key``."""
+    return default_generator(spawn_sequence(root, *key))
 
 
 def default_generator(

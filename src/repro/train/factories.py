@@ -1,0 +1,81 @@
+"""Picklable environment/agent builders for multi-process training.
+
+Worker processes are started with the ``spawn`` method (the only start
+method whose children cannot silently inherit live RNG streams, open
+tapes, or half-initialized locks from the parent), so everything a
+worker needs must be *reconstructed* on the other side of a pickle
+boundary.  These factories close over nothing but a frozen
+:class:`~repro.core.config.HEADConfig` and plain numpy arrays, which is
+exactly what ``functools.partial`` + pickle can ship.
+
+The perception module is frozen during decision training, so a trained
+predictor travels as its ``state_dict`` (a ``name -> ndarray`` mapping)
+rather than as a live module; each worker rebuilds the network from the
+config and loads the weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.config import HEADConfig
+from ..decision.agents import PDQNAgent
+from ..decision.environment import DrivingEnv
+from ..seeding import default_generator
+
+__all__ = ["build_env", "build_agent", "predictor_state"]
+
+
+def predictor_state(head) -> dict[str, np.ndarray] | None:
+    """The predictor weights of a HEAD instance as a picklable mapping."""
+    if head.predictor is None:
+        return None
+    return head.predictor.state_dict()
+
+
+def build_env(config: HEADConfig,
+              predictor: dict[str, np.ndarray] | None = None,
+              max_steps: int | None = None) -> DrivingEnv:
+    """Reconstruct the training environment described by ``config``.
+
+    ``predictor`` is a ``state_dict`` of LST-GAT weights (from
+    :func:`predictor_state`); ``None`` with ``config.use_prediction``
+    keeps the deterministic fresh-init weights, which is what an
+    untrained pipeline uses anyway.  The construction-time generator is
+    fixed: environment stochasticity comes entirely from the per-episode
+    ``reset(seed)``, never from construction.
+    """
+    from ..core.head import HEAD  # deferred: core imports this package
+
+    head = HEAD(config, rng=default_generator(0))
+    if predictor is not None:
+        if head.predictor is None:
+            raise ValueError("predictor weights supplied but "
+                             "config.use_prediction is off")
+        head.predictor.load_state_dict(predictor)
+    return head.make_env(max_steps)
+
+
+def build_agent(config: HEADConfig, learner: bool = True) -> PDQNAgent:
+    """Reconstruct the decision agent described by ``config``.
+
+    Actor copies (``learner=False``) get a one-slot replay buffer: a
+    worker only *generates* transitions -- storage and sampling happen
+    on the learner -- so replicating a 20k-transition buffer per worker
+    would waste memory on arrays that are never read.  Weight values do
+    not matter either (the learner broadcast overwrites them before the
+    first episode); only the architecture must match.
+    """
+    if not learner:
+        config = replace(config, replay_capacity=1)
+    return PDQNAgent(
+        branched=config.branched_networks,
+        hidden_dim=config.hidden_dim,
+        gamma=config.gamma,
+        batch_size=config.batch_size,
+        buffer_capacity=config.replay_capacity,
+        tau=config.tau,
+        rng=default_generator(0),
+    )

@@ -1,0 +1,59 @@
+"""Fixture: RNG streams leaking across process boundaries."""
+
+import multiprocessing
+
+import numpy as np
+
+from repro.seeding import default_generator, spawn_stream
+
+WORKER_RNG = np.random.default_rng(0)
+
+
+def seeded_worker(scale):
+    # Reachable from a Process target: under spawn every child
+    # re-executes the module and gets its own identically seeded copy.
+    return float(WORKER_RNG.normal(0.0, scale))  # expect: cross-process-rng
+
+
+def helper_reader():
+    return float(WORKER_RNG.random())  # expect: cross-process-rng
+
+
+def indirect_worker(scale):
+    # The global read two frames down is still a spawn-side read.
+    return helper_reader() * scale
+
+
+def shipped_stream():
+    rng = default_generator(7)
+    process = multiprocessing.Process(
+        target=seeded_worker,
+        args=(rng,))  # expect: cross-process-rng
+    process.start()
+    return process
+
+
+def context_flow():
+    ctx = multiprocessing.get_context("spawn")
+    return ctx.Process(
+        target=indirect_worker,
+        args=(np.random.default_rng(3),))  # expect: cross-process-rng
+
+
+def clean_worker(root_seed, episode):
+    # The sanctioned pattern: seed material crosses, the stream is
+    # derived inside the child as a pure function of the key.
+    rng = spawn_stream(root_seed, episode)
+    return float(rng.standard_normal())
+
+
+def clean_spawn():
+    process = multiprocessing.Process(target=clean_worker, args=(11, 0))
+    process.start()
+    return process
+
+
+def unspawned_reader():
+    # Same global, but not reachable from any Process target: the
+    # single-process read is rng-taint's business, not this rule's.
+    return float(WORKER_RNG.random())
