@@ -1,0 +1,131 @@
+"""Record the golden single-AV trace used by the fleet bit-compat suite.
+
+The fleet refactor (spatial-hash neighbor kernels, multi-AV conflict
+arbitration, batched fleet perception) promises that the existing
+single-AV ``DrivingEnv`` rollout is preserved **bit for bit**.  This
+script freezes that contract: it runs a scripted deterministic episode
+through ``DrivingEnv`` and writes every step's exact state -- AV
+kinematics as ``float.hex()``, reward terms, step-record fields, and a
+digest of the augmented-state tensors -- to
+``tests/decision/golden_single_av_trace.json``.
+
+The trace was recorded *before* the fleet refactor touched the engine
+or perception code; ``tests/decision/test_fleet_equivalence.py``
+replays it against both ``DrivingEnv`` and the M=1 ``FleetEnv`` path.
+
+Usage::
+
+    PYTHONPATH=src python scripts/record_fleet_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.decision.environment import DrivingEnv
+from repro.decision.pamdp import LaneBehavior, ParameterizedAction
+from repro.perception.lstgat import LSTGAT
+from repro.perception.module import EnhancedPerception
+from repro.perception.sensor import Sensor
+from repro.seeding import default_generator
+from repro.sim.road import Road
+
+OUT = Path(__file__).resolve().parent.parent / "tests" / "decision" / \
+    "golden_single_av_trace.json"
+
+SEED = 5
+STEPS = 60
+ROAD_LENGTH = 600.0
+DENSITY = 120.0
+PREDICTOR_SEED = 1234
+
+
+def build_env() -> DrivingEnv:
+    """The exact environment the equivalence tests rebuild."""
+    predictor = LSTGAT(attention_dim=32, lstm_dim=32, history_steps=5,
+                       rng=default_generator(PREDICTOR_SEED))
+    perception = EnhancedPerception(predictor=predictor, sensor=Sensor())
+    return DrivingEnv(perception, road=Road(length=ROAD_LENGTH),
+                      density_per_km=DENSITY, max_steps=STEPS)
+
+
+def scripted_action(step: int, av_lane: int, road: Road) -> ParameterizedAction:
+    """Deterministic weave exercising lane changes and accel extremes."""
+    delta = (0, 1, 0, -1)[(step // 5) % 4]
+    if not road.is_valid_lane(av_lane + delta):
+        delta = 0
+    accel = 1.5 if step % 2 == 0 else -0.5
+    return ParameterizedAction(LaneBehavior.from_delta(delta), accel)
+
+
+def state_digest(state) -> str:
+    payload = (state.current.tobytes() + state.future.tobytes()
+               + state.target_mask.tobytes())
+    return hashlib.sha256(payload).hexdigest()
+
+
+def world_digest(engine) -> str:
+    rows = [(vid, vehicle.state.lat, vehicle.state.lon.hex(),
+             vehicle.state.v.hex())
+            for vid, vehicle in sorted(engine.vehicles.items())]
+    return hashlib.sha256(json.dumps(rows).encode()).hexdigest()
+
+
+def hex_or_none(value):
+    return None if value is None else float(value).hex()
+
+
+def record_trace() -> dict:
+    env = build_env()
+    state = env.reset(SEED)
+    steps = []
+    trace = {
+        "seed": SEED,
+        "steps": STEPS,
+        "road_length": ROAD_LENGTH,
+        "density_per_km": DENSITY,
+        "predictor_seed": PREDICTOR_SEED,
+        "initial_state_digest": state_digest(state),
+        "initial_world_digest": world_digest(env.engine),
+        "av_spawn": [env.av.lane, env.av.lon.hex(), env.av.v.hex()],
+    }
+    for step in range(STEPS):
+        if env.done() or env.av is None:
+            break
+        action = scripted_action(step, env.av.lane, env.road)
+        state, breakdown, done, record = env.step(action)
+        steps.append({
+            "action": [action.behavior.value, float(action.accel).hex()],
+            "reward_total": float(breakdown.total).hex(),
+            "av_velocity": float(record.av_velocity).hex(),
+            "av_accel": float(record.av_accel).hex(),
+            "av_jerk": float(record.av_jerk).hex(),
+            "ttc": hex_or_none(record.ttc),
+            "rear_velocity_drop": hex_or_none(record.rear_velocity_drop),
+            "impact_event": record.impact_event,
+            "collided": record.collided,
+            "trailing_ids": list(record.trailing_ids),
+            "trailing_mean_velocity": hex_or_none(record.trailing_mean_velocity),
+            "world_digest": world_digest(env.engine),
+            "state_digest": None if state is None else state_digest(state),
+            "done": done,
+        })
+        if done:
+            break
+    trace["records"] = steps
+    trace["finished"] = env.result.finished
+    trace["collided"] = env.result.collided
+    return trace
+
+
+def main() -> None:
+    trace = record_trace()
+    OUT.write_text(json.dumps(trace, indent=1) + "\n")
+    print(f"wrote {OUT} ({len(trace['records'])} steps, "
+          f"finished={trace['finished']}, collided={trace['collided']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,15 @@ multi-process trainer):
   ``Process`` target (``spawn`` re-executes the module per child, so
   every worker gets an identically seeded private copy).
 
+**Performance pack** (guarding the fleet-scale neighbor kernels):
+
+* ``quadratic-neighbor-scan`` -- an all-pairs pass over one
+  population: a loop over a collection nested inside a loop over the
+  same collection, or a loop that hands the collection to a helper
+  which scans it again.  O(N^2) where a
+  :class:`repro.sim.spatial.SpatialHash` answers the same per-entity
+  queries after one sort.
+
 The pass runs over the *shipped program* -- ``src``, ``examples``,
 ``scripts`` -- not over ``tests``/``benchmarks``/fixture corpora, whose
 ad-hoc seeded generators and intentionally-broken files are their own
@@ -1046,3 +1055,140 @@ class CrossProcessRng(ProgramRule):
                     "re-executes the module and gets an identically seeded "
                     "private copy; pass seed material through the task and "
                     "derive the stream via repro.seeding.spawn_stream")
+
+
+# ----------------------------------------------------------------------
+# performance pack
+# ----------------------------------------------------------------------
+
+#: Iterable wrappers that preserve the underlying population: looping
+#: over ``sorted(world)`` is still a pass over ``world``.
+_ITER_UNWRAP_CALLS = frozenset({"list", "sorted", "tuple", "reversed",
+                                "enumerate"})
+_ITER_VIEW_METHODS = frozenset({"items", "values", "keys"})
+
+
+@program_rule
+class QuadraticNeighborScan(ProgramRule):
+    """All-pairs scans over one population that an index makes linear.
+
+    The classic shape is ``for a in world: for b in world: ...`` -- a
+    per-entity neighbor search written as a nested pass over the same
+    collection, O(N^2) in the population size.  The interprocedural
+    variant hides the inner pass in a helper: a loop over ``world``
+    that calls a program function handing it ``world`` again, where
+    that function runs its own loop over the parameter.  Both shapes
+    are what :class:`repro.sim.spatial.SpatialHash` exists to replace:
+    build the index once (one lexsort) and answer every per-entity
+    query with a batched ``searchsorted``.
+
+    Scans re-entering via wrappers (``sorted(world)``,
+    ``world.items()``) are recognized; loops over *different*
+    collections are not flagged, and neither are helpers that merely
+    receive the population without iterating it.
+    """
+
+    id = "quadratic-neighbor-scan"
+    summary = "nested all-pairs iteration over one population"
+
+    def _iter_base(self, node: ast.expr) -> str | None:
+        """The population name an iterable expression ultimately walks."""
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _ITER_VIEW_METHODS
+                    and isinstance(func.value, ast.Name) and not node.args):
+                return func.value.id
+            if (isinstance(func, ast.Name)
+                    and func.id in _ITER_UNWRAP_CALLS and node.args):
+                return self._iter_base(node.args[0])
+        return None
+
+    def _loops(self, scope: ast.AST) -> Iterator[tuple[ast.For, str]]:
+        for node in own_nodes(scope):
+            if isinstance(node, ast.For):
+                base = self._iter_base(node.iter)
+                if base is not None:
+                    yield node, base
+
+    def _iterated_params(self, info: FunctionInfo) -> set[str]:
+        """Parameter names this function loops over."""
+        arguments = info.node.args
+        params = {arg.arg for arg in arguments.args + arguments.kwonlyargs
+                  + arguments.posonlyargs}
+        return {base for _, base in self._loops(info.node) if base in params}
+
+    def _params_bound_to(self, call: ast.Call, callee: FunctionInfo,
+                         base: str) -> set[str]:
+        """Callee parameter names that receive ``base`` in this call."""
+        params = [arg.arg for arg in callee.node.args.posonlyargs
+                  + callee.node.args.args]
+        if (params and params[0] in ("self", "cls")
+                and isinstance(call.func, ast.Attribute)):
+            params = params[1:]
+        bound: set[str] = set()
+        for position, arg in enumerate(call.args):
+            if (isinstance(arg, ast.Name) and arg.id == base
+                    and position < len(params)):
+                bound.add(params[position])
+        for keyword in call.keywords:
+            if (keyword.arg is not None and isinstance(keyword.value, ast.Name)
+                    and keyword.value.id == base):
+                bound.add(keyword.arg)
+        return bound
+
+    def _scan_nested(self, ctx: LintContext, scope: ast.AST
+                     ) -> Iterator[Finding]:
+        for outer, base in self._loops(scope):
+            for node in own_nodes(outer):
+                if (isinstance(node, ast.For)
+                        and self._iter_base(node.iter) == base):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"nested loop re-scans {base!r} for every element "
+                        f"of {base!r}: O(N^2) in the population; build a "
+                        "repro.sim.spatial.SpatialHash once and answer "
+                        "per-element queries with a batched searchsorted")
+
+    def _scan_calls(self, program: Program, info: FunctionInfo,
+                    file: ProgramFile) -> Iterator[Finding]:
+        graph = program.graph
+        module = graph.modules[info.module]
+        local_types = None
+        for outer, base in self._loops(info.node):
+            for node in own_nodes(outer):
+                if not isinstance(node, ast.Call):
+                    continue
+                passes_base = (
+                    any(isinstance(arg, ast.Name) and arg.id == base
+                        for arg in node.args)
+                    or any(isinstance(keyword.value, ast.Name)
+                           and keyword.value.id == base
+                           for keyword in node.keywords))
+                if not passes_base:
+                    continue
+                if local_types is None:
+                    local_types = infer_local_types(info.node, graph, module)
+                qualname = graph.resolve_call(node, info, local_types)
+                callee = graph.functions.get(qualname) \
+                    if qualname is not None else None
+                if callee is None:
+                    continue
+                bound = self._params_bound_to(node, callee, base)
+                if bound & self._iterated_params(callee):
+                    yield file.ctx.finding(
+                        self.id, node,
+                        f"loop over {base!r} calls {callee.qualname}, "
+                        f"which scans the same population again: O(N^2) "
+                        "overall; hoist the inner pass or query a "
+                        "repro.sim.spatial.SpatialHash built once outside "
+                        "the loop")
+
+    def run(self, program: Program) -> Iterable[Finding]:
+        for file in program.files:
+            yield from self._scan_nested(file.ctx, file.tree)
+        for info, file in program.iter_functions():
+            yield from self._scan_nested(file.ctx, info.node)
+            yield from self._scan_calls(program, info, file)

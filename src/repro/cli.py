@@ -102,6 +102,23 @@ def build_parser() -> argparse.ArgumentParser:
     degradation.add_argument("--out", default=None,
                              help="write the sweep as JSON to this file")
 
+    fleet = commands.add_parser(
+        "fleet", help="evaluate M HEAD agents sharing one engine")
+    fleet.add_argument("--checkpoint", default=None)
+    fleet.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    fleet.add_argument("--avs", type=int, default=4,
+                       help="fleet size M (autonomous vehicles per episode)")
+    fleet.add_argument("--vehicles", type=int, default=None,
+                       help="total vehicle target N (overrides the scale's "
+                            "density: N / road-length)")
+    fleet.add_argument("--episodes", type=int, default=3)
+    fleet.add_argument("--steps", type=int, default=None,
+                       help="cap each episode at this many steps")
+    fleet.add_argument("--seed", type=int, default=500,
+                       help="first episode seed (episodes use seed..seed+E-1)")
+    fleet.add_argument("--out", default=None,
+                       help="write the fleet report as JSON to this file")
+
     drive = commands.add_parser("drive", help="replay one episode as ASCII art")
     drive.add_argument("--checkpoint", default=None)
     drive.add_argument("--scale", choices=sorted(SCALES), default="quick")
@@ -274,6 +291,40 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print(render_metric_table("Evaluation", reports))
     print("collisions:", {name: report.collisions
                           for name, report in reports.items()})
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from .eval import evaluate_fleet
+
+    head = _make_head(args.scale, 0, args.checkpoint)
+    env = head.make_fleet_env(args.avs, max_steps=args.steps)
+    if args.vehicles is not None:
+        env.density_per_km = args.vehicles / (env.road.length / 1000.0)
+    seeds = range(args.seed, args.seed + args.episodes)
+    report = evaluate_fleet(head.fleet_controller(), env, seeds,
+                            max_steps=args.steps)
+    print(f"fleet of {report.num_avs} AVs, {args.episodes} episode(s), "
+          f"~{env.density_per_km * env.road.length / 1000.0:.0f} vehicles")
+    print(f"  avg speed {report.avg_v_fleet:.2f} m/s, "
+          f"avg jerk {report.avg_j_fleet:.2f}, "
+          f"min TTC {report.min_ttc_fleet:.2f} s")
+    print(f"  impact on conventional: {report.avg_count_av_on_cv:.2f}/ep "
+          f"(avg drop {report.avg_d_av_on_cv:.2f} m/s)")
+    print(f"  impact on fleet:        {report.avg_count_av_on_av:.2f}/ep "
+          f"(avg drop {report.avg_d_av_on_av:.2f} m/s)")
+    print(f"  collision rate {report.collision_rate:.3f}, "
+          f"AV-AV collisions {report.av_av_collision_rate:.2f}/ep, "
+          f"finished {report.finished_rate:.0%}, "
+          f"mean fleet reward {report.mean_reward:+.2f}")
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(
+            json.dumps(dataclasses.asdict(report), indent=2) + "\n")
+        print(f"report written to {args.out}")
     return 0
 
 
@@ -500,6 +551,7 @@ COMMANDS = {
     "train": cmd_train,
     "evaluate": cmd_evaluate,
     "degradation": cmd_degradation,
+    "fleet": cmd_fleet,
     "drive": cmd_drive,
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,

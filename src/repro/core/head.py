@@ -20,6 +20,7 @@ import numpy as np
 from ..data.trajectories import TrajectorySet
 from ..decision.agents import PDQNAgent
 from ..decision.environment import DrivingEnv
+from ..decision.fleet import FleetController, FleetEnv
 from ..decision.policies import AgentController, Controller
 from ..decision.reward import HybridReward
 from ..decision.trainer import RLTrainingLog, train_agent
@@ -92,9 +93,35 @@ class HEAD(object):
                           density_per_km=self.config.density_per_km,
                           max_steps=max_steps or self.config.max_episode_steps)
 
+    def make_fleet_env(self, num_avs: int,
+                       max_steps: int | None = None) -> FleetEnv:
+        """A fleet environment: ``num_avs`` HEAD agents, one engine.
+
+        Each AV gets a fresh :class:`EnhancedPerception` (trackers and
+        phantom state are per-ego) sharing this instance's predictor,
+        so fleet perception still runs as one stacked LST-GAT forward.
+        """
+        cfg = self.config
+        perceptions = [
+            EnhancedPerception(
+                predictor=self.guard or self.predictor,
+                sensor=Sensor(detection_range=cfg.sensor_range),
+                history_steps=cfg.history_steps,
+                use_phantoms=cfg.use_phantoms,
+            )
+            for _ in range(num_avs)
+        ]
+        return FleetEnv(perceptions, reward=self.reward, road=self.road(),
+                        density_per_km=cfg.density_per_km,
+                        max_steps=max_steps or cfg.max_episode_steps)
+
     def controller(self) -> Controller:
         """The trained policy as an evaluation controller."""
         return AgentController(self.agent, name=self.name)
+
+    def fleet_controller(self) -> FleetController:
+        """The trained policy batched across a fleet."""
+        return FleetController(self.agent, name=f"{self.name}-fleet")
 
     # ------------------------------------------------------------------
     # training

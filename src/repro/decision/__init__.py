@@ -4,6 +4,7 @@ from .pamdp import (LaneBehavior, ParameterizedAction, AugmentedState,
                     build_augmented_state, CURRENT_SHAPE, FUTURE_SHAPE)
 from .reward import RewardWeights, StepOutcome, RewardBreakdown, HybridReward
 from .environment import StepRecord, EpisodeResult, DrivingEnv
+from .fleet import FleetStepRecord, FleetEpisodeResult, FleetEnv, FleetController
 from .replay import Transition, Batch, ReplayBuffer
 from .networks import (BranchEncoder, BranchedXNetwork, BranchedQNetwork,
                        VanillaXNetwork, VanillaQNetwork, NUM_BEHAVIORS)
@@ -19,6 +20,7 @@ __all__ = [
     "build_augmented_state", "CURRENT_SHAPE", "FUTURE_SHAPE",
     "RewardWeights", "StepOutcome", "RewardBreakdown", "HybridReward",
     "StepRecord", "EpisodeResult", "DrivingEnv",
+    "FleetStepRecord", "FleetEpisodeResult", "FleetEnv", "FleetController",
     "Transition", "Batch", "ReplayBuffer",
     "BranchEncoder", "BranchedXNetwork", "BranchedQNetwork",
     "VanillaXNetwork", "VanillaQNetwork", "NUM_BEHAVIORS",

@@ -24,7 +24,8 @@ from ..sim.vehicle import Vehicle
 from .pamdp import AugmentedState, ParameterizedAction, build_augmented_state
 from .reward import HybridReward, RewardBreakdown, StepOutcome
 
-__all__ = ["StepRecord", "EpisodeResult", "DrivingEnv"]
+__all__ = ["StepRecord", "EpisodeResult", "DrivingEnv",
+           "build_step_outcome", "build_step_record", "population_arrays"]
 
 
 @dataclass(frozen=True)
@@ -191,61 +192,101 @@ class DrivingEnv:
     def _build_outcome(self, av: Vehicle, collided: bool, accel: float,
                        accel_prev: float, rear_id: str | None,
                        rear_v_before: float | None) -> StepOutcome:
-        engine = self.engine
-        front_gap = None
-        closing = None
-        if av is not None and av.vid in engine.vehicles:
-            front = engine.leader_of(av)
-            if front is not None and front.lon - av.lon <= self.perception.sensor.detection_range:
-                front_gap = av.gap_to(front)
-                closing = av.v - front.v
-        rear_v_next = None
-        if rear_id is not None:
-            rear_after = engine.vehicles.get(rear_id) or engine.retired.get(rear_id)
-            if rear_after is not None:
-                rear_v_next = rear_after.v
-        return StepOutcome(
-            collided=collided,
-            ego_velocity_next=av.v if av is not None else 0.0,
-            ego_accel=accel,
-            ego_accel_prev=accel_prev,
-            front_gap_next=front_gap,
-            front_closing_speed=closing,
-            rear_velocity_now=rear_v_before,
-            rear_velocity_next=rear_v_next,
-        )
+        return build_step_outcome(self.engine, av, collided, accel, accel_prev,
+                                  rear_id, rear_v_before,
+                                  self.perception.sensor.detection_range)
 
     def _record(self, av: Vehicle, outcome: StepOutcome,
                 breakdown: RewardBreakdown, collided: bool) -> StepRecord:
-        engine = self.engine
-        ttc = None
-        if (outcome.front_gap_next is not None and outcome.front_closing_speed is not None
-                and outcome.front_closing_speed > 0.0 and outcome.front_gap_next > 0.0):
-            ttc = outcome.front_gap_next / outcome.front_closing_speed
-        rear_drop = None
-        impact_event = False
-        if outcome.rear_velocity_now is not None and outcome.rear_velocity_next is not None:
-            rear_drop = outcome.rear_velocity_now - outcome.rear_velocity_next
-            impact_event = rear_drop > self.reward.velocity_threshold
+        return build_step_record(self.engine, av, outcome, breakdown, collided,
+                                 self._steps, self.reward.velocity_threshold)
 
-        trailing: list[str] = []
-        velocities: list[float] = []
-        if av is not None and av.vid in engine.vehicles:
-            for vehicle in engine.vehicles.values():
-                behind = av.lon - vehicle.lon
-                if vehicle.vid != av.vid and 0.0 < behind <= 100.0:
-                    trailing.append(vehicle.vid)
-                    velocities.append(vehicle.v)
-        return StepRecord(
-            step=self._steps,
-            av_velocity=av.v if av is not None else 0.0,
-            av_accel=outcome.ego_accel,
-            av_jerk=abs(outcome.ego_accel - outcome.ego_accel_prev),
-            ttc=ttc,
-            rear_velocity_drop=rear_drop,
-            impact_event=impact_event,
-            collided=collided,
-            reward=breakdown,
-            trailing_ids=tuple(sorted(trailing)),
-            trailing_mean_velocity=float(np.mean(velocities)) if velocities else None,
-        )
+
+def build_step_outcome(engine: SimulationEngine, av: Vehicle | None,
+                       collided: bool, accel: float, accel_prev: float,
+                       rear_id: str | None, rear_v_before: float | None,
+                       detection_range: float) -> StepOutcome:
+    """Post-step reward inputs for one ego (shared by single-AV and fleet)."""
+    front_gap = None
+    closing = None
+    if av is not None and av.vid in engine.vehicles:
+        front = engine.leader_of(av)
+        if front is not None and front.lon - av.lon <= detection_range:
+            front_gap = av.gap_to(front)
+            closing = av.v - front.v
+    rear_v_next = None
+    if rear_id is not None:
+        rear_after = engine.vehicles.get(rear_id) or engine.retired.get(rear_id)
+        if rear_after is not None:
+            rear_v_next = rear_after.v
+    return StepOutcome(
+        collided=collided,
+        ego_velocity_next=av.v if av is not None else 0.0,
+        ego_accel=accel,
+        ego_accel_prev=accel_prev,
+        front_gap_next=front_gap,
+        front_closing_speed=closing,
+        rear_velocity_now=rear_v_before,
+        rear_velocity_next=rear_v_next,
+    )
+
+
+def population_arrays(engine: SimulationEngine
+                      ) -> tuple[list[str], np.ndarray, np.ndarray]:
+    """(vids, lon, v) arrays of the live population, in dict order.
+
+    The trailing scan of :func:`build_step_record` needs them for every
+    ego against the same post-step world; a fleet computes them once per
+    step and passes them to each record build.
+    """
+    vids = list(engine.vehicles)
+    lons = np.fromiter((vehicle.lon for vehicle in engine.vehicles.values()),
+                       np.float64, count=len(vids))
+    speeds = np.fromiter((vehicle.v for vehicle in engine.vehicles.values()),
+                         np.float64, count=len(vids))
+    return vids, lons, speeds
+
+
+def build_step_record(engine: SimulationEngine, av: Vehicle | None,
+                      outcome: StepOutcome, breakdown: RewardBreakdown,
+                      collided: bool, step: int,
+                      velocity_threshold: float,
+                      population: tuple[list[str], np.ndarray, np.ndarray]
+                      | None = None) -> StepRecord:
+    """Raw metric record for one executed step of one ego."""
+    ttc = None
+    if (outcome.front_gap_next is not None and outcome.front_closing_speed is not None
+            and outcome.front_closing_speed > 0.0 and outcome.front_gap_next > 0.0):
+        ttc = outcome.front_gap_next / outcome.front_closing_speed
+    rear_drop = None
+    impact_event = False
+    if outcome.rear_velocity_now is not None and outcome.rear_velocity_next is not None:
+        rear_drop = outcome.rear_velocity_now - outcome.rear_velocity_next
+        impact_event = rear_drop > velocity_threshold
+
+    # Trailing scan, vectorized: "behind > 0" excludes the ego itself
+    # (and, exactly as the per-vehicle loop did, anything sharing its
+    # longitude), so no explicit vid comparison is needed.
+    trailing: list[str] = []
+    velocities = np.zeros(0)
+    if av is not None and av.vid in engine.vehicles:
+        vids, lons, speeds = (population if population is not None
+                              else population_arrays(engine))
+        behind = av.lon - lons
+        rows = np.flatnonzero((behind > 0.0) & (behind <= 100.0))
+        trailing = [vids[row] for row in rows]
+        velocities = speeds[rows]
+    return StepRecord(
+        step=step,
+        av_velocity=av.v if av is not None else 0.0,
+        av_accel=outcome.ego_accel,
+        av_jerk=abs(outcome.ego_accel - outcome.ego_accel_prev),
+        ttc=ttc,
+        rear_velocity_drop=rear_drop,
+        impact_event=impact_event,
+        collided=collided,
+        reward=breakdown,
+        trailing_ids=tuple(sorted(trailing)),
+        trailing_mean_velocity=(float(np.mean(velocities))
+                                if len(velocities) else None),
+    )

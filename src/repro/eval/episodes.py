@@ -9,10 +9,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..decision.environment import DrivingEnv, EpisodeResult
+from ..decision.fleet import FleetEnv, FleetEpisodeResult
 from ..decision.policies import Controller
-from .metrics import EvaluationReport, aggregate
+from .metrics import (EvaluationReport, FleetImpactReport, aggregate,
+                      aggregate_fleet)
 
 __all__ = ["run_episode", "evaluate_controller", "evaluate_controller_batch",
+           "run_fleet_episode", "evaluate_fleet",
            "RewardStats", "reward_statistics"]
 
 
@@ -39,6 +42,34 @@ def evaluate_controller(controller: Controller, env: DrivingEnv,
     results = [run_episode(controller, env, seed, max_steps=max_steps)
                for seed in seeds]
     return aggregate(results, env.road.length)
+
+
+def run_fleet_episode(controller, env: FleetEnv, seed: int,
+                      max_steps: int | None = None) -> FleetEpisodeResult:
+    """Run one greedy fleet episode; all M policies step in lockstep.
+
+    ``controller`` needs a ``select_actions(states) -> actions`` method
+    mapping the active AVs' augmented states to parameterized actions
+    (:class:`~repro.decision.fleet.FleetController`).
+    """
+    states = env.reset(seed)
+    cap = max_steps or env.max_steps
+    steps = 0
+    while states and steps < cap:
+        actions = controller.select_actions(states)
+        states, _, done, _ = env.step(actions)
+        steps += 1
+        if done:
+            break
+    return env.result()
+
+
+def evaluate_fleet(controller, env: FleetEnv, seeds: list[int] | range,
+                   max_steps: int | None = None) -> FleetImpactReport:
+    """Run seeded fleet episodes and fold them into fleet impact metrics."""
+    results = [run_fleet_episode(controller, env, seed, max_steps=max_steps)
+               for seed in seeds]
+    return aggregate_fleet(results)
 
 
 @dataclass

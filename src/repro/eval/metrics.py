@@ -31,7 +31,8 @@ import numpy as np
 from ..decision.environment import EpisodeResult
 from ..sim import constants
 
-__all__ = ["EvaluationReport", "aggregate"]
+__all__ = ["EvaluationReport", "aggregate", "FleetImpactReport",
+           "aggregate_fleet"]
 
 
 @dataclass(frozen=True)
@@ -99,4 +100,102 @@ def aggregate(results: list[EpisodeResult], road_length: float) -> EvaluationRep
         avg_d_ca=float(np.mean(rear_drops)) if rear_drops else 0.0,
         episodes=len(results),
         collisions=collisions,
+    )
+
+
+@dataclass(frozen=True)
+class FleetImpactReport:
+    """Fleet-level impact metrics: who disturbs whom.
+
+    The paper's impact metrics (Avg#-CA / AvgD-CA) measure the AV's
+    disturbance of conventional traffic.  At fleet scale the same rear
+    slowdown events split by the class of the disturbed follower:
+
+    * ``avg_count_av_on_cv`` / ``avg_d_av_on_cv`` -- per-episode impact
+      event count and mean imposed deceleration when the rear vehicle
+      is conventional (the classic metric, summed over the fleet);
+    * ``avg_count_av_on_av`` / ``avg_d_av_on_av`` -- the same when the
+      disturbed follower is another fleet member: disturbance the
+      fleet absorbs internally;
+    * ``av_av_collision_rate`` -- per-episode count of AVs that
+      collided with another AV (only measurable at M >= 2).
+    """
+
+    num_avs: int
+    episodes: int
+    avg_v_fleet: float
+    avg_j_fleet: float
+    min_ttc_fleet: float
+    avg_count_av_on_cv: float
+    avg_count_av_on_av: float
+    avg_d_av_on_cv: float
+    avg_d_av_on_av: float
+    collision_rate: float
+    av_av_collision_rate: float
+    finished_rate: float
+    mean_reward: float
+
+
+def aggregate_fleet(results: list) -> FleetImpactReport:
+    """Fold :class:`~repro.decision.fleet.FleetEpisodeResult` runs.
+
+    For M=1 fleets, ``avg_count_av_on_cv`` equals the single-AV
+    report's Avg#-CA (every follower is conventional) and the AV-on-AV
+    columns are identically zero.
+    """
+    if not results:
+        raise ValueError("no fleet episodes to aggregate")
+    velocities: list[float] = []
+    jerks: list[float] = []
+    ttcs: list[float] = []
+    counts_cv: list[float] = []
+    counts_av: list[float] = []
+    drops_cv: list[float] = []
+    drops_av: list[float] = []
+    rewards: list[float] = []
+    collisions = 0
+    av_av_collisions = 0
+    finished = 0
+    av_total = 0
+
+    for result in results:
+        av_total += len(result.av_ids)
+        collisions += result.collisions
+        av_av_collisions += result.av_av_collisions
+        finished += result.finished
+        rewards.append(result.total_reward)
+        count_cv = 0
+        count_av = 0
+        for fleet_record in result.fleet_records:
+            record = fleet_record.record
+            velocities.append(record.av_velocity)
+            jerks.append(record.av_jerk)
+            if record.ttc is not None:
+                ttcs.append(record.ttc)
+            drop = record.rear_velocity_drop
+            if drop is not None and drop > 0.0:
+                (drops_av if fleet_record.rear_is_av else drops_cv).append(drop)
+            if record.impact_event:
+                if fleet_record.rear_is_av:
+                    count_av += 1
+                else:
+                    count_cv += 1
+        counts_cv.append(count_cv)
+        counts_av.append(count_av)
+
+    episodes = len(results)
+    return FleetImpactReport(
+        num_avs=results[0].av_ids and len(results[0].av_ids) or 0,
+        episodes=episodes,
+        avg_v_fleet=float(np.mean(velocities)) if velocities else 0.0,
+        avg_j_fleet=float(np.mean(jerks)) if jerks else 0.0,
+        min_ttc_fleet=float(np.min(ttcs)) if ttcs else float("inf"),
+        avg_count_av_on_cv=float(np.mean(counts_cv)),
+        avg_count_av_on_av=float(np.mean(counts_av)),
+        avg_d_av_on_cv=float(np.mean(drops_cv)) if drops_cv else 0.0,
+        avg_d_av_on_av=float(np.mean(drops_av)) if drops_av else 0.0,
+        collision_rate=collisions / max(av_total, 1),
+        av_av_collision_rate=av_av_collisions / episodes,
+        finished_rate=finished / max(av_total, 1),
+        mean_reward=float(np.mean(rewards)),
     )

@@ -87,6 +87,27 @@ class PerceptionGuard:
             raw = np.asarray(self.predictor.predict(graph), dtype=np.float64)
         except FloatingPointError:
             raw = np.full((graph.target_features.shape[1], 3), np.nan)
+        return self._validate(graph, raw)
+
+    def predict_many(self, graphs: list[SpatialTemporalGraph]) -> list[np.ndarray]:
+        """Validated batched prediction: one stacked forward, per-graph guard.
+
+        Each graph still counts as one frame in :attr:`stats`, and each
+        prediction is validated against the same envelope as
+        :meth:`predict`; ``last_*`` attributes reflect the final graph.
+        """
+        inner = getattr(self.predictor, "predict_many", None)
+        if inner is None:
+            return [self.predict(graph) for graph in graphs]
+        try:
+            raws = inner(graphs)
+        except FloatingPointError:
+            raws = [np.full((graph.target_features.shape[1], 3), np.nan)
+                    for graph in graphs]
+        return [self._validate(graph, np.asarray(raw, dtype=np.float64))
+                for graph, raw in zip(graphs, raws)]
+
+    def _validate(self, graph: SpatialTemporalGraph, raw: np.ndarray) -> np.ndarray:
         bad = self._invalid_rows(raw)
         self.stats.frames += 1
         self.last_bad_rows = bad

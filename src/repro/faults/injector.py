@@ -218,8 +218,9 @@ class FaultySensor:
         self.injector = injector
 
     def observe(self, ego_id: str, ego: VehicleState,
-                world: dict[str, VehicleState], road: Road) -> dict[str, VehicleState]:
-        observed = self.base.observe(ego_id, ego, world, road)
+                world: dict[str, VehicleState], road: Road,
+                arrays=None) -> dict[str, VehicleState]:
+        observed = self.base.observe(ego_id, ego, world, road, arrays=arrays)
         return self.injector.filter_observation(observed, road)
 
     def __getattr__(self, name: str):

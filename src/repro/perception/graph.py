@@ -24,8 +24,8 @@ from ..sim.vehicle import VehicleState
 from .neighbors import AREA_COUNT
 from .phantom import PerceivedScene, TrackKind, TrackedVehicle
 
-__all__ = ["SpatialTemporalGraph", "build_graph", "concat_graphs",
-           "split_rows", "FEATURE_DIM", "CONTRIBUTORS",
+__all__ = ["SpatialTemporalGraph", "build_graph", "build_graphs",
+           "concat_graphs", "split_rows", "FEATURE_DIM", "CONTRIBUTORS",
            "OUTPUT_SCALE", "RELATIVE_SCALE", "EGO_SCALE"]
 
 #: Node feature dimensionality (Eq. 7): d_lat, d_lon, v_rel, IF.
@@ -33,6 +33,9 @@ FEATURE_DIM = 4
 
 #: Contributors per target in the attention: the target itself + 6 surroundings.
 CONTRIBUTORS = AREA_COUNT + 1
+
+#: Node rows one scene occupies in the stacked featurization.
+_NODES_PER_SCENE = AREA_COUNT * CONTRIBUTORS
 
 #: Feature scaling applied on top of Eqs. 7-8 so all network inputs are
 #: O(1).  Relative nodes: lateral offsets span a few lane widths
@@ -47,6 +50,14 @@ EGO_SCALE = np.array([6.0, 1000.0, 25.0, 1.0])
 
 #: Scaling of the predicted / ground-truth [d_lat, d_lon, v_rel].
 OUTPUT_SCALE = RELATIVE_SCALE[:3]
+
+#: Per-kind (is_zero, is_ego, indicator) rows gathered in one pass by
+#: :func:`build_graph`.  The indicator column is Eqs. 7-8's IF code:
+#: 1 for phantoms, 0 otherwise (matching ``TrackedVehicle.indicator``).
+_KIND_FLAGS = {kind: (float(kind is TrackKind.ZERO),
+                      float(kind is TrackKind.EGO),
+                      1.0 if kind.is_phantom else 0.0)
+               for kind in TrackKind}
 
 
 def _feature(node: TrackedVehicle, step: int, ego_state: VehicleState,
@@ -98,25 +109,104 @@ class SpatialTemporalGraph:
 
 
 def build_graph(scene: PerceivedScene, road: Road) -> SpatialTemporalGraph:
-    """Assemble G(t) feature arrays from a perceived scene."""
-    steps = len(scene.ego.history)
-    targets = np.zeros((steps, AREA_COUNT, FEATURE_DIM))
-    contributors = np.zeros((steps, AREA_COUNT, CONTRIBUTORS, FEATURE_DIM))
-    ego = np.zeros((steps, AREA_COUNT, FEATURE_DIM))
-    mask = np.array(scene.target_mask())
+    """Assemble G(t) feature arrays from a perceived scene.
 
-    for step in range(steps):
-        ego_state = scene.ego.history[step]
-        ego[step, :] = _feature(scene.ego, step, ego_state, road)
+    Delegates to :func:`build_graphs` with a single scene, so the
+    single-AV and fleet paths share one featurization kernel and are
+    bit-identical by construction.
+    """
+    return build_graphs([scene], road)[0]
+
+
+def build_graphs(scenes: list[PerceivedScene], road: Road
+                 ) -> list[SpatialTemporalGraph]:
+    """Assemble G(t) arrays for many scenes in one stacked computation.
+
+    All S * 42 nodes are gathered into one state block and featurized by
+    a handful of vectorized operations shared across the whole fleet;
+    every arithmetic step matches the per-node :func:`_feature` exactly
+    (same subtraction order, same scale division), so each scene's
+    arrays are bit-identical to the nested scalar loop this replaces --
+    and independent of which other scenes share the batch.
+
+    All scenes must have the same history length ``z``.
+    """
+    if not scenes:
+        return []
+    steps = len(scenes[0].ego.history)
+    nodes: list[TrackedVehicle] = []
+    for scene in scenes:
+        if len(scene.ego.history) != steps:
+            raise ValueError("scenes disagree on history length")
         for area in range(1, AREA_COUNT + 1):
-            target = scene.targets[area]
-            vector = _feature(target, step, ego_state, road)
-            targets[step, area - 1] = vector
-            contributors[step, area - 1, 0] = vector
+            nodes.append(scene.targets[area])
             for sub_area in range(1, AREA_COUNT + 1):
-                node = scene.surroundings[(area, sub_area)]
-                contributors[step, area - 1, sub_area] = _feature(node, step, ego_state, road)
-    return SpatialTemporalGraph(targets, contributors, mask, ego)
+                nodes.append(scene.surroundings[(area, sub_area)])
+
+    # Nodes alias history lists heavily (the ego fills six slots, zero
+    # padding is shared, one vehicle can be a target and several
+    # surroundings -- possibly across scenes), so gather each distinct
+    # history once and scatter by row index -- the scattered copy
+    # carries the exact same floats.
+    compact_rows: dict[int, int] = {}
+    distinct: list[TrackedVehicle] = []
+    row_of = np.empty(len(nodes), dtype=np.intp)
+    for position, node in enumerate(nodes):
+        key = id(node.history)
+        row = compact_rows.get(key)
+        if row is None:
+            row = len(distinct)
+            compact_rows[key] = row
+            distinct.append(node)
+        row_of[position] = row
+    compact = np.fromiter(
+        (value for node in distinct for state in node.history
+         for value in (state.lat, state.lon, state.v)),
+        np.float64, count=len(distinct) * steps * 3,
+    ).reshape(len(distinct), steps, 3)
+    raw = compact[row_of]
+    # Per-scene ego references, replicated to the scene's 42 node rows.
+    ego_raw = np.fromiter(
+        (value for scene in scenes for state in scene.ego.history
+         for value in (state.lat, state.lon, state.v)),
+        np.float64, count=len(scenes) * steps * 3,
+    ).reshape(len(scenes), steps, 3)
+    node_ego = np.repeat(ego_raw, _NODES_PER_SCENE, axis=0)
+    # One pass derives all three per-node flag arrays from the kind.
+    flags = np.array([_KIND_FLAGS[node.kind] for node in nodes])
+    is_zero = flags[:, 0] != 0.0
+    is_ego = flags[:, 1] != 0.0
+    indicator = flags[:, 2]
+
+    # Eq. 7 relative features, node-major: (S * 42, z, 4).
+    features = np.empty((len(nodes), steps, FEATURE_DIM))
+    features[:, :, 0] = (raw[:, :, 0] - node_ego[:, :, 0]) * road.lane_width
+    features[:, :, 1] = raw[:, :, 1] - node_ego[:, :, 1]
+    features[:, :, 2] = raw[:, :, 2] - node_ego[:, :, 2]
+    features[:, :, 3] = indicator[:, None]
+    features /= RELATIVE_SCALE
+    if is_ego.any():
+        ego_like = np.zeros((int(is_ego.sum()), steps, FEATURE_DIM))
+        ego_like[:, :, :3] = raw[is_ego]
+        features[is_ego] = ego_like / EGO_SCALE
+    features[is_zero] = 0.0
+
+    # Scatter into the (z, 6, ...) layout: within a scene, node i*7 is
+    # target C_{i+1}, nodes i*7+1..i*7+6 are its contributors.
+    grouped = features.reshape(len(scenes), AREA_COUNT, CONTRIBUTORS,
+                               steps, FEATURE_DIM)
+    contributors = np.ascontiguousarray(grouped.transpose(0, 3, 1, 2, 4))
+    targets = np.ascontiguousarray(contributors[:, :, :, 0, :])
+
+    ego_vectors = np.zeros((len(scenes), steps, FEATURE_DIM))
+    ego_vectors[:, :, :3] = ego_raw
+    ego_vectors /= EGO_SCALE
+    egos = np.ascontiguousarray(
+        np.broadcast_to(ego_vectors[:, :, None, :],
+                        (len(scenes), steps, AREA_COUNT, FEATURE_DIM)))
+    return [SpatialTemporalGraph(targets[index], contributors[index],
+                                 np.array(scene.target_mask()), egos[index])
+            for index, scene in enumerate(scenes)]
 
 
 def concat_graphs(graphs: list[SpatialTemporalGraph]) -> SpatialTemporalGraph:

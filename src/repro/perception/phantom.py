@@ -24,10 +24,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
 
+import numpy as np
+
 from ..sim import constants
 from ..sim.road import Road
+from ..sim.spatial import SpatialHash
 from ..sim.vehicle import VehicleState
-from .neighbors import AREA_COUNT, MIRROR_AREA, select_neighbors
+from .neighbors import AREA_COUNT, MIRROR_AREA
 from .tracking import ObservationBuffer
 
 __all__ = ["TrackKind", "TrackedVehicle", "PerceivedScene", "build_scene",
@@ -138,9 +141,18 @@ def _occlusion_phantom(target: list[VehicleState],
             for t_state, e_state in zip(target, ego)]
 
 
+_ZERO_TRACKS: dict[int, TrackedVehicle] = {}
+
+
 def _zero_track(steps: int) -> TrackedVehicle:
-    zero = VehicleState(lat=0, lon=0.0, v=0.0)
-    return TrackedVehicle(TrackKind.ZERO, [zero] * steps)
+    """Shared all-zero padding node (scenes treat nodes as read-only,
+    so one instance per history length serves every zero slot)."""
+    track = _ZERO_TRACKS.get(steps)
+    if track is None:
+        zero = VehicleState(lat=0, lon=0.0, v=0.0)
+        track = TrackedVehicle(TrackKind.ZERO, [zero] * steps)
+        _ZERO_TRACKS[steps] = track
+    return track
 
 
 def _missing_kind(reference_lane: int, area: int, road: Road) -> TrackKind:
@@ -260,43 +272,86 @@ def build_scene(ego_id: str, ego_history: list[VehicleState],
     """
     steps = len(ego_history)
     ego = TrackedVehicle(TrackKind.EGO, list(ego_history), vid=ego_id)
-    observed_now = {vid: buffer.history(vid)[-1] for vid in buffer.current_ids()
+    observed_now = {vid: buffer.current(vid) for vid in buffer.current_ids()
                     if vid != ego_id}
 
+    # A vehicle can fill several node slots (a target and multiple
+    # surroundings); share one padded history list per vid.  Nodes treat
+    # histories as read-only, so aliasing is safe.
+    histories: dict[str, list[VehicleState]] = {}
+
+    def history_of(vid: str) -> list[VehicleState]:
+        cached = histories.get(vid)
+        if cached is None:
+            cached = buffer.history(vid)
+            histories[vid] = cached
+        return cached
+
+    # One spatial hash answers every neighbor query of the scene: the
+    # ego's target selection plus all observed targets' surroundings,
+    # as two batched kernel calls instead of up to 7 * |observed|
+    # per-pair classifications.  Rows are the observed candidates in
+    # buffer order with the ego last -- the scalar candidate iteration
+    # order, which the kernel's tie-breaking relies on.  Each query
+    # center is itself a row; the strict same-lane bounds exclude it
+    # from its own result exactly like the scalar candidate filtering.
+    count = len(observed_now)
+    ids = list(observed_now)
+    lane = np.empty(count + 1, dtype=np.int64)
+    lon = np.empty(count + 1, dtype=np.float64)
+    for row, vid in enumerate(ids):
+        state = observed_now[vid]
+        lane[row] = state.lat
+        lon[row] = state.lon
+    lane[count] = ego.current.lat
+    lon[count] = ego.current.lon
+    index = SpatialHash(lane, lon, road.num_lanes)
+
     # Step 1: select targets around the ego.
-    target_ids = select_neighbors(ego.current, observed_now)
+    ego_areas = index.six_area_neighbors(lane[count:], lon[count:])[0]
     targets: dict[int, TrackedVehicle] = {}
     for area in range(1, AREA_COUNT + 1):
-        if area in target_ids:
-            vid = target_ids[area]
-            targets[area] = TrackedVehicle(TrackKind.OBSERVED, buffer.history(vid), vid=vid)
+        row = int(ego_areas[area - 1])
+        if row >= 0:
+            vid = ids[row]
+            targets[area] = TrackedVehicle(TrackKind.OBSERVED, history_of(vid), vid=vid)
         else:
             # Step 2a: missing target (Eq. 4 / Eq. 5 with A as reference).
             targets[area] = _build_missing(ego_history, area, road, detection_range)
 
-    # Step 2b: surroundings of each target.
+    # Step 2b: surroundings of each observed target, one batched query.
+    observed_areas = [area for area in range(1, AREA_COUNT + 1)
+                      if not targets[area].kind.is_phantom]
+    if observed_areas:
+        sub_rows = index.six_area_neighbors(
+            np.fromiter((targets[area].current.lat for area in observed_areas),
+                        dtype=np.int64, count=len(observed_areas)),
+            np.fromiter((targets[area].current.lon for area in observed_areas),
+                        dtype=np.float64, count=len(observed_areas)))
     surroundings: dict[tuple[int, int], TrackedVehicle] = {}
+    observed_position = 0
     for area in range(1, AREA_COUNT + 1):
         target = targets[area]
         mirror = MIRROR_AREA[area]
+        if target.kind.is_phantom:
+            # Never construct phantoms on top of an uncertain vehicle.
+            for sub_area in range(1, AREA_COUNT + 1):
+                surroundings[(area, sub_area)] = \
+                    ego if sub_area == mirror else _zero_track(steps)
+            continue
+        chosen = sub_rows[observed_position]
+        observed_position += 1
         for sub_area in range(1, AREA_COUNT + 1):
             if sub_area == mirror:
                 # Footnote 1: the ego itself surrounds every target.
                 surroundings[(area, sub_area)] = ego
                 continue
-            if target.kind.is_phantom:
-                # Never construct phantoms on top of an uncertain vehicle.
-                surroundings[(area, sub_area)] = _zero_track(steps)
-                continue
-            candidates = {vid: state for vid, state in observed_now.items()
-                          if vid != target.vid}
-            candidates[ego_id] = ego.current
-            chosen = select_neighbors(target.current, candidates)
-            if sub_area in chosen and chosen[sub_area] != ego_id:
-                vid = chosen[sub_area]
+            row = int(chosen[sub_area - 1])
+            if 0 <= row < count:
+                vid = ids[row]
                 surroundings[(area, sub_area)] = TrackedVehicle(
-                    TrackKind.OBSERVED, buffer.history(vid), vid=vid)
-            elif sub_area in chosen and chosen[sub_area] == ego_id:
+                    TrackKind.OBSERVED, history_of(vid), vid=vid)
+            elif row == count:
                 surroundings[(area, sub_area)] = ego
             elif sub_area == area and _occlusion_possible(target.current, area, road):
                 # Eq. 6: prioritized occlusion missing on the aligned diagonal.

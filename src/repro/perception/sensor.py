@@ -13,11 +13,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..sim import constants
 from ..sim.road import Road
 from ..sim.vehicle import VehicleState
 
-__all__ = ["Sensor", "segment_intersects_rectangle", "clamp_measurement"]
+__all__ = ["Sensor", "WorldArrays", "segment_intersects_rectangle",
+           "clamp_measurement"]
 
 #: Plan-view vehicle width (m) used for occlusion shadows.
 VEHICLE_WIDTH = 2.0
@@ -46,6 +49,29 @@ def clamp_measurement(state: VehicleState, road: Road,
 def _lateral_meters(state: VehicleState, road: Road) -> float:
     """Lane-center lateral coordinate in meters."""
     return state.lat * road.lane_width
+
+
+class WorldArrays:
+    """Pre-gathered plan-view coordinate arrays of one world snapshot.
+
+    The sensor's O(N) gather over the world dict is identical for every
+    ego observing the same snapshot, so a fleet builds this once per
+    step and hands it to each AV's :meth:`Sensor.observe` -- the per-AV
+    cost then no longer includes the gather.  Rows follow ``world``
+    iteration order and include every vehicle (each ego drops its own
+    row at query time).
+    """
+
+    __slots__ = ("ids", "position", "lon", "lat_m")
+
+    def __init__(self, world: dict[str, VehicleState], road: Road) -> None:
+        self.ids = list(world)
+        self.position = {vid: row for row, vid in enumerate(self.ids)}
+        count = len(self.ids)
+        self.lon = np.fromiter((state.lon for state in world.values()),
+                               dtype=np.float64, count=count)
+        self.lat_m = np.fromiter((state.lat for state in world.values()),
+                                 dtype=np.float64, count=count) * road.lane_width
 
 
 def segment_intersects_rectangle(p0: tuple[float, float], p1: tuple[float, float],
@@ -138,20 +164,89 @@ class Sensor:
         return False
 
     def observe(self, ego_id: str, ego: VehicleState,
-                world: dict[str, VehicleState], road: Road) -> dict[str, VehicleState]:
+                world: dict[str, VehicleState], road: Road,
+                arrays: WorldArrays | None = None) -> dict[str, VehicleState]:
         """Return the states of all vehicles this sensor can currently see.
 
         ``world`` holds ground-truth states keyed by id (the simulator's
         omniscient view); the result contains only in-range, unoccluded
-        vehicles, excluding the ego itself.
+        vehicles, excluding the ego itself.  ``arrays`` optionally
+        supplies the pre-gathered :class:`WorldArrays` of the same
+        snapshot (fleet sharing); the result is identical either way.
+
+        The range and occlusion tests run as one vectorized pairwise
+        slab pass over all candidates; every arithmetic step mirrors
+        :meth:`in_range` / :func:`segment_intersects_rectangle` exactly,
+        so the visible set is bit-identical to the per-pair scalar loop
+        (pinned by ``tests/perception/test_sensor_kernel.py``).
         """
-        candidates = {vid: state for vid, state in world.items()
-                      if vid != ego_id and self.in_range(ego, state, road)}
-        observed: dict[str, VehicleState] = {}
-        for vid, state in candidates.items():
-            if not self.is_occluded(ego, state, candidates, road, target_id=vid):
-                observed[vid] = self._measure(state, road)
-        return observed
+        ego_row = None
+        if arrays is None:
+            ids = [vid for vid in world if vid != ego_id]
+            if not ids:
+                return {}
+            lon = np.fromiter((world[vid].lon for vid in ids), dtype=np.float64,
+                              count=len(ids))
+            lat_m = np.fromiter((world[vid].lat for vid in ids), dtype=np.float64,
+                                count=len(ids)) * road.lane_width
+        else:
+            ids = arrays.ids
+            lon = arrays.lon
+            lat_m = arrays.lat_m
+            ego_row = arrays.position.get(ego_id)
+        ego_y = ego.lat * road.lane_width
+        range_dx = lon - ego.lon
+        range_dy = lat_m - ego_y
+        in_range = (range_dx * range_dx + range_dy * range_dy
+                    <= self.detection_range ** 2)
+        keep = np.flatnonzero(in_range)
+        if ego_row is not None:
+            keep = keep[keep != ego_row]
+        if keep.size == 0:
+            return {}
+        candidates = [ids[index] for index in keep]
+
+        # Occlusion: sight lines run between geometric centers (lon is
+        # the front bumper, so centers sit half a length behind it).
+        # Rows index sight-line targets, columns index obstacles; each
+        # axis of the slab test contributes a clipped parameter window
+        # [t_enter, t_exit], except that a degenerate axis (segment
+        # parallel to the slab) instead requires the segment origin
+        # inside the slab and leaves the window at the neutral [0, 1].
+        half_len = self.vehicle_length / 2.0
+        half_wid = self.vehicle_width / 2.0
+        x0 = ego.lon - half_len
+        cx = lon[keep] - half_len          # obstacle/target center x
+        cy = lat_m[keep]                   # obstacle/target center y
+        dx = cx - x0                       # per-target segment deltas
+        dy = cy - ego_y
+
+        def axis_window(delta, origin, lo, hi):
+            live = ~(np.abs(delta) < 1e-12)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                t_a = (lo[None, :] - origin) / delta[:, None]
+                t_b = (hi[None, :] - origin) / delta[:, None]
+            enter = np.where(live[:, None],
+                             np.maximum(np.minimum(t_a, t_b), 0.0), 0.0)
+            exit_ = np.where(live[:, None],
+                             np.minimum(np.maximum(t_a, t_b), 1.0), 1.0)
+            origin_ok = np.broadcast_to((origin >= lo) & (origin <= hi),
+                                        t_a.shape)
+            return enter, exit_, np.where(live[:, None], True, origin_ok)
+
+        enter_x, exit_x, ok_x = axis_window(dx, x0, cx - half_len, cx + half_len)
+        enter_y, exit_y, ok_y = axis_window(dy, ego_y, cy - half_wid, cy + half_wid)
+        hit = (ok_x & ok_y
+               & (np.maximum(enter_x, enter_y) <= np.minimum(exit_x, exit_y)))
+        # Never occluded by itself, nor by an obstacle sitting exactly
+        # at the ego center (the ego's own footprint).
+        np.fill_diagonal(hit, False)
+        ego_like = (np.abs(cx - x0) < 1e-9) & (np.abs(cy - ego_y) < 1e-9)
+        hit[:, ego_like] = False
+        occluded = hit.any(axis=1)
+
+        return {vid: self._measure(world[vid], road)
+                for vid, blocked in zip(candidates, occluded) if not blocked}
 
     def _measure(self, state: VehicleState, road: Road) -> VehicleState:
         """Apply measurement noise to a detected state, envelope-clamped."""

@@ -58,6 +58,11 @@ class ObservationBuffer:
             track = [track[0]] * (self.history_steps - len(track)) + track
         return track
 
+    def current(self, vid: str) -> VehicleState:
+        """Most recent state of ``vid`` (identical to ``history(vid)[-1]``
+        without materializing the padded list)."""
+        return self._tracks[vid][-1]
+
     def tracked_ids(self) -> list[str]:
         """Ids with a live track, sorted."""
         return sorted(self._tracks)

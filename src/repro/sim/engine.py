@@ -28,6 +28,7 @@ from . import constants
 from .carfollowing import CarFollowingModel, FREE_ROAD_GAP, Krauss, free_road_gap
 from .lanechange import MOBIL
 from .road import Road
+from .spatial import SpatialHash
 from .vehicle import ProfileArrays, Vehicle, VehicleState
 from ..seeding import resolve_rng
 
@@ -82,52 +83,10 @@ class _LaneIndex:
     vehicles: list[Vehicle] = field(default_factory=list)
 
 
-class _SortedLanes:
-    """Lane-sorted position arrays for one-shot batched neighbor queries.
-
-    Vectorized counterpart of :class:`_LaneIndex`: one ``lexsort`` per
-    step replaces the per-vehicle bisect scans.  Queries use strict
-    comparisons (``side='right'`` for leaders, ``side='left' - 1`` for
-    followers), matching the scalar index's strictly-ahead /
-    strictly-behind semantics including self-exclusion.
-    """
-
-    __slots__ = ("order", "sorted_lon", "starts", "num_lanes")
-
-    def __init__(self, lane: np.ndarray, lon: np.ndarray, num_lanes: int,
-                 lane_targets: np.ndarray) -> None:
-        self.order = np.lexsort((lon, lane))
-        sorted_lane = lane[self.order]
-        self.sorted_lon = lon[self.order]
-        # lane_targets is the engine's precomputed arange(1, num_lanes+2);
-        # python-int starts keep the query loop off numpy scalar indexing.
-        self.starts = sorted_lane.searchsorted(lane_targets).tolist()
-        self.num_lanes = num_lanes
-
-    def neighbors(self, query_lane: np.ndarray, query_lon: np.ndarray
-                  ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-row indices of the nearest leader/follower (-1 when absent)."""
-        count = query_lane.shape[0]
-        leader = np.full(count, -1, dtype=np.int64)
-        follower = np.full(count, -1, dtype=np.int64)
-        starts = self.starts
-        sorted_lon = self.sorted_lon
-        order = self.order
-        for lane_no in range(1, self.num_lanes + 1):
-            start = starts[lane_no - 1]
-            stop = starts[lane_no]
-            if start == stop:
-                continue
-            mask = query_lane == lane_no
-            segment = sorted_lon[start:stop]
-            # Trailing -1 sentinel: a query past the last vehicle indexes
-            # position ``size`` and one before the first indexes ``-1``,
-            # both landing on the sentinel -- no clamping or masking.
-            ids = np.concatenate((order[start:stop], _NO_NEIGHBOR))
-            lon_in_lane = query_lon[mask]
-            leader[mask] = ids[segment.searchsorted(lon_in_lane, side="right")]
-            follower[mask] = ids[segment.searchsorted(lon_in_lane, side="left") - 1]
-        return leader, follower
+# Lane-sorted neighbor index; the leader/follower queries in
+# ``_step_vectorized`` and the six-area perception kernel share the
+# same lexsort-backed structure (see :mod:`repro.sim.spatial`).
+_SortedLanes = SpatialHash
 
 
 class SimulationEngine:
@@ -171,7 +130,14 @@ class SimulationEngine:
         self._pending: dict[str, Maneuver] = {}
         self._lane_index: dict[int, _LaneIndex] = {}
         self._index_dirty = True
-        self._static_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        # Population generation: bumped on every add/remove/discard.
+        # Caches keyed on it (sorted active list, static arrays) are
+        # rebuilt only when the vehicle *set* changed, not per call.
+        self._generation = 0
+        self._active_cache: list[Vehicle] = []
+        self._active_generation = -1
+        self._static_cache: tuple | None = None
+        self._static_generation = -1
         self._soa_cache: tuple | None = None
         self._profile_cache: ProfileArrays | None = None
         self._ego_cache: tuple[np.ndarray, np.ndarray] | None = None
@@ -189,10 +155,7 @@ class SimulationEngine:
         vehicle.spawn_time = self.step_count
         self.vehicles[vehicle.vid] = vehicle
         self.history[vehicle.vid] = deque([vehicle.state], maxlen=self.history_length)
-        self._index_dirty = True
-        self._static_cache = None
-        self._soa_cache = None
-        self._profile_cache = None
+        self._population_changed()
         return vehicle
 
     def remove_vehicle(self, vid: str) -> None:
@@ -200,10 +163,24 @@ class SimulationEngine:
         vehicle = self.vehicles.pop(vid, None)
         if vehicle is not None:
             self.retired[vid] = vehicle
-            self._index_dirty = True
-            self._static_cache = None
-            self._soa_cache = None
-            self._profile_cache = None
+            self._population_changed()
+
+    def discard_vehicle(self, vid: str) -> None:
+        """Drop a vehicle from the world without marking it retired.
+
+        ``retired`` means "finished the road" to the reward/outcome
+        code, so taking a crashed fleet AV out of the simulation must
+        not go through :meth:`remove_vehicle`.  History is kept so
+        perception can still read the final track.
+        """
+        if self.vehicles.pop(vid, None) is not None:
+            self._population_changed()
+
+    def _population_changed(self) -> None:
+        self._generation += 1
+        self._index_dirty = True
+        self._soa_cache = None
+        self._profile_cache = None
 
     # ------------------------------------------------------------------
     # queries
@@ -213,8 +190,15 @@ class SimulationEngine:
         return self.vehicles[vid]
 
     def active_vehicles(self) -> list[Vehicle]:
-        """Return live vehicles sorted by id for deterministic iteration."""
-        return [self.vehicles[vid] for vid in sorted(self.vehicles)]
+        """Return live vehicles sorted by id for deterministic iteration.
+
+        The sorted list is cached behind the population generation
+        counter -- callers must treat it as read-only.
+        """
+        if self._active_generation != self._generation:
+            self._active_cache = [self.vehicles[vid] for vid in sorted(self.vehicles)]
+            self._active_generation = self._generation
+        return self._active_cache
 
     def _rebuild_index(self) -> None:
         self._lane_index = {lane: _LaneIndex() for lane in range(1, self.road.num_lanes + 1)}
@@ -382,9 +366,9 @@ class SimulationEngine:
                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
                                   np.ndarray, bool]:
         """Lengths, autonomy flags (and their negation / any-AV flag),
-        and per-vehicle velocity floors, cached until the population
-        changes."""
-        if self._static_cache is None:
+        and per-vehicle velocity floors, cached behind the population
+        generation counter."""
+        if self._static_generation != self._generation:
             count = len(vehicles)
             is_av = np.fromiter((vehicle.is_autonomous for vehicle in vehicles),
                                 dtype=bool, count=count)
@@ -396,6 +380,7 @@ class SimulationEngine:
                 ~is_av,
                 bool(is_av.any()),
             )
+            self._static_generation = self._generation
         return self._static_cache
 
     def _step_vectorized(self) -> list[CollisionEvent]:
@@ -409,10 +394,10 @@ class SimulationEngine:
         new_events: list[CollisionEvent] = []
         # SoA carryover: the arrays written at the end of the previous
         # step double as this step's input, skipping the object gather.
-        # Valid only while the population is unchanged (_static_cache)
-        # and no external code replaced a state or cooldown in between
-        # (checked by object identity / value below).
-        cached = self._soa_cache if self._static_cache is not None else None
+        # Valid only while the population is unchanged (the add/remove
+        # paths null it) and no external code replaced a state or
+        # cooldown in between (checked by object identity / value below).
+        cached = self._soa_cache
         if cached is not None \
                 and [vehicle.state for vehicle in cached[0]] == cached[1] \
                 and [vehicle.cooldown for vehicle in cached[0]] == cached[6]:
@@ -444,6 +429,7 @@ class SimulationEngine:
 
         lane_delta = np.zeros(count, dtype=np.int64)
         cv_changers = False
+        av_changers = False
         any_delta = False
         if self._pending:
             accel = np.zeros(count)
@@ -458,6 +444,8 @@ class SimulationEngine:
                         any_delta = True
                         if not vehicle.is_autonomous:
                             cv_changers = True
+                        else:
+                            av_changers = True
             conventional = ~(is_av | pending)
             all_conventional = False
             may_off_road = True
@@ -604,16 +592,45 @@ class SimulationEngine:
         else:
             accel = np.where(conventional, cf_accel, accel)
 
-        # Synchronous lane-change conflicts: keepers and the AV claim
-        # their predicted intervals first; changers abort in sorted-vid
-        # order when overlapping an existing claim (see
-        # _resolve_lane_conflicts for the scalar semantics).
+        # Synchronous lane-change conflicts (see _resolve_lane_conflicts
+        # for the scalar semantics): AV-vs-AV arbitration runs first --
+        # an AV lane change aborts only when it overlaps another AV's
+        # claim, never a CV's -- then CV changers abort, in sorted-vid
+        # order, against keeper claims and the AVs' final targets.
         target = lane + lane_delta if any_delta else lane
-        if cv_changers:
-            changer = (lane_delta != 0) & not_av
+        if cv_changers or av_changers:
             predicted = lon + v * constants.DT + accel * _HALF_DT_SQ
             claim_lo = predicted - length - 1.0
             claim_hi = predicted + 1.0
+        if av_changers:
+            av_mover = (lane_delta != 0) & is_av
+            av_keeper = is_av & ~av_mover
+            av_keeper_claims: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            av_extra: dict[int, list[tuple[float, float]]] = {}
+            for row in np.flatnonzero(av_mover):
+                lane_to = int(target[row])
+                if lane_to not in av_keeper_claims:
+                    mask = av_keeper & (target == lane_to)
+                    av_keeper_claims[lane_to] = (claim_lo[mask], claim_hi[mask])
+                lows, highs = av_keeper_claims[lane_to]
+                overlapping = bool(np.any((claim_lo[row] < highs)
+                                          & (lows < claim_hi[row])))
+                if not overlapping:
+                    for low, high in av_extra.get(lane_to, ()):
+                        if claim_lo[row] < high and low < claim_hi[row]:
+                            overlapping = True
+                            break
+                if overlapping:
+                    lane_delta[row] = 0
+                    target[row] = lane[row]
+                    cooldown[row] = 0
+                    av_extra.setdefault(int(lane[row]), []).append(
+                        (claim_lo[row], claim_hi[row]))
+                else:
+                    av_extra.setdefault(lane_to, []).append(
+                        (claim_lo[row], claim_hi[row]))
+        if cv_changers:
+            changer = (lane_delta != 0) & not_av
             keeper = ~changer
             keeper_claims: dict[int, tuple[np.ndarray, np.ndarray]] = {}
             extra_claims: dict[int, list[tuple[float, float]]] = {}
@@ -748,34 +765,64 @@ class SimulationEngine:
         return (self.leader_of(vehicle, lane), self.follower_of(vehicle, lane))
 
     def _resolve_lane_conflicts(self, decisions: dict[str, Maneuver]) -> dict[str, Maneuver]:
-        """Cancel CV lane changes that would collide with concurrent movers.
+        """Cancel lane changes that would collide with concurrent movers.
 
         Decisions are made synchronously from the state at ``t``, so two
-        vehicles can legitimately claim the same target gap.  Lane-keepers
-        claim their predicted interval first; changers then abort (keep
-        lane) when their interval overlaps an existing claim.  The AV's
-        command is never overridden -- unsafe AV maneuvers must produce
-        collisions so the reward can penalize them.
+        vehicles can legitimately claim the same target gap.  Resolution
+        runs in sorted-vid order (canonical: invariant to insertion
+        order) in three waves:
+
+        1. lane-keepers (CV and AV) claim their predicted intervals;
+        2. AV changers arbitrate **among themselves**: an AV lane change
+           aborts only when it overlaps another AV's claim.  CV claims
+           never override an AV command -- an AV maneuver that is unsafe
+           with respect to conventional traffic must produce the
+           collision so the reward can penalize it.  With a single AV
+           this wave is a no-op, preserving the M=1 contract;
+        3. CV changers abort (keep lane) when overlapping any existing
+           claim, including the AVs' final targets.
         """
         margin = 1.0
         claims: dict[int, list[tuple[float, float]]] = {}
+        av_claims: dict[int, list[tuple[float, float]]] = {}
         resolved = dict(decisions)
 
         def predicted_interval(vehicle: Vehicle, maneuver: Maneuver) -> tuple[float, float]:
             lon = vehicle.lon + vehicle.v * constants.DT + 0.5 * maneuver.accel * constants.DT ** 2
             return (lon - vehicle.length - margin, lon + margin)
 
+        av_movers: list[str] = []
         changers: list[str] = []
         for vid in sorted(decisions):
             vehicle = self.vehicles.get(vid)
             if vehicle is None:
                 continue
             maneuver = decisions[vid]
-            if maneuver.lane_delta == 0 or vehicle.is_autonomous:
-                lane = vehicle.lane + maneuver.lane_delta
-                claims.setdefault(lane, []).append(predicted_interval(vehicle, maneuver))
+            if maneuver.lane_delta == 0:
+                interval = predicted_interval(vehicle, maneuver)
+                claims.setdefault(vehicle.lane, []).append(interval)
+                if vehicle.is_autonomous:
+                    av_claims.setdefault(vehicle.lane, []).append(interval)
+            elif vehicle.is_autonomous:
+                av_movers.append(vid)
             else:
                 changers.append(vid)
+
+        for vid in av_movers:
+            vehicle = self.vehicles[vid]
+            maneuver = decisions[vid]
+            target = vehicle.lane + maneuver.lane_delta
+            interval = predicted_interval(vehicle, maneuver)
+            overlapping = any(interval[0] < hi and lo < interval[1]
+                              for lo, hi in av_claims.get(target, []))
+            if overlapping:
+                resolved[vid] = Maneuver(0, maneuver.accel)
+                vehicle.cooldown = 0
+                lane_to = vehicle.lane
+            else:
+                lane_to = target
+            claims.setdefault(lane_to, []).append(interval)
+            av_claims.setdefault(lane_to, []).append(interval)
 
         for vid in changers:
             vehicle = self.vehicles[vid]

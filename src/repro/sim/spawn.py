@@ -17,7 +17,9 @@ from .engine import SimulationEngine
 from .road import Road
 from .vehicle import DriverProfile, Vehicle, VehicleState
 
-__all__ = ["random_profile", "populate_traffic", "insert_autonomous_vehicle", "build_episode"]
+__all__ = ["random_profile", "populate_traffic", "insert_autonomous_vehicle",
+           "build_episode", "fleet_vids", "insert_autonomous_fleet",
+           "build_fleet_episode"]
 
 #: Clear space (m) kept around the AV spawn point so episodes start fair.
 SPAWN_CLEARANCE = 30.0
@@ -159,6 +161,73 @@ def insert_autonomous_vehicle(engine: SimulationEngine, rng: np.random.Generator
         is_autonomous=True,
     )
     return engine.add_vehicle(vehicle)
+
+
+def fleet_vids(count: int) -> list[str]:
+    """Canonical fleet vehicle ids: ``av`` plus zero-padded ``av01``...
+
+    Index 0 is always ``"av"`` (the single-AV id), so an M=1 fleet is
+    indistinguishable from the classic episode.  Later ids are
+    zero-padded to a fixed width so lexicographic order equals spawn
+    order -- the engine's sorted-vid iteration then visits the fleet in
+    canonical order regardless of insertion sequence.
+    """
+    if count <= 1:
+        return ["av"]
+    width = len(str(count - 1))
+    return ["av"] + [f"av{index:0{width}d}" for index in range(1, count)]
+
+
+def insert_autonomous_fleet(engine: SimulationEngine, rng: np.random.Generator,
+                            count: int = 1) -> list[Vehicle]:
+    """Place ``count`` AVs: the first exactly like the single-AV setup.
+
+    AV 0 spawns at the road origin via :func:`insert_autonomous_vehicle`
+    with the same RNG draws, so an M=1 fleet consumes the identical
+    stream as :func:`build_episode`.  Each additional AV k draws the
+    same (lane, speed) pair shape and starts at ``k * length / count``;
+    conventional vehicles already inside its clearance window are
+    discarded deterministically (no RNG, no retirement bookkeeping).
+    """
+    road = engine.road
+    vids = fleet_vids(count)
+    fleet = [insert_autonomous_vehicle(engine, rng, vid=vids[0])]
+    for index in range(1, count):
+        lane = int(rng.integers(1, road.num_lanes + 1))
+        velocity = float(rng.uniform(0.5, 0.8) * road.v_max)
+        lon = index * road.length / count
+        for other in list(engine.vehicles.values()):
+            if other.lane == lane and not other.is_autonomous \
+                    and abs(other.lon - lon) <= SPAWN_CLEARANCE:
+                engine.discard_vehicle(other.vid)
+        fleet.append(engine.add_vehicle(Vehicle(
+            vid=vids[index],
+            state=VehicleState(lat=lane, lon=lon, v=velocity),
+            is_autonomous=True,
+        )))
+    return fleet
+
+
+def build_fleet_episode(seed: int, road: Road | None = None,
+                        density_per_km: float = constants.DENSITY_PER_KM,
+                        history_length: int = constants.HISTORY_STEPS + 1,
+                        car_following=None, reference: bool = False,
+                        num_avs: int = 1
+                        ) -> tuple[SimulationEngine, list[Vehicle]]:
+    """Seeded episode with an M-vehicle autonomous fleet.
+
+    For ``num_avs=1`` this is exactly :func:`build_episode` (same RNG
+    consumption, same world, same AV) -- the M=1 bit-compat contract
+    the fleet equivalence suite pins down.
+    """
+    rng = default_generator(seed)
+    engine = SimulationEngine(road=road or Road(), car_following=car_following,
+                              rng=rng, history_length=history_length,
+                              reference=reference)
+    populate_traffic(engine, rng, density_per_km,
+                     keep_clear=(0, 0.0, SPAWN_CLEARANCE))
+    fleet = insert_autonomous_fleet(engine, rng, num_avs)
+    return engine, fleet
 
 
 def build_episode(seed: int, road: Road | None = None,

@@ -1,0 +1,67 @@
+"""Quadratic neighbor scans: nested and helper-hidden all-pairs passes."""
+
+
+def nearest_ahead(vehicle, world):
+    best = None
+    for other in world.values():
+        if other["lon"] > vehicle["lon"]:
+            if best is None or other["lon"] < best["lon"]:
+                best = other
+    return best
+
+
+def brute_force_leaders(world):
+    leaders = {}
+    for vid, vehicle in world.items():
+        for other_id, other in world.items():  # expect: quadratic-neighbor-scan
+            if other["lon"] > vehicle["lon"] and vid != other_id:
+                leaders[vid] = other_id
+    return leaders
+
+
+def sorted_wrapper_still_counts(world):
+    gaps = []
+    for vid in sorted(world):
+        for other in list(world):  # expect: quadratic-neighbor-scan
+            gaps.append((vid, other))
+    return gaps
+
+
+def helper_hidden_scan(world):
+    out = []
+    for vid in sorted(world):
+        out.append(nearest_ahead(world[vid], world))  # expect: quadratic-neighbor-scan
+    return out
+
+
+def keyword_passing_is_seen(world):
+    out = {}
+    for vid in world:
+        out[vid] = nearest_ahead(world[vid], world=world)  # expect: quadratic-neighbor-scan
+    return out
+
+
+def linear_pass_is_fine(world, index):
+    results = []
+    for vid in sorted(world):
+        results.append(index.get(vid))
+    return results
+
+
+def different_collections_are_fine(fleet, world):
+    seen = []
+    for av in fleet:
+        for other in world.values():
+            seen.append((av, other))
+    return seen
+
+
+def helper_not_iterating_is_fine(world):
+    sizes = []
+    for vid in world:
+        sizes.append(population_size(vid, world))
+    return sizes
+
+
+def population_size(vid, world):
+    return len(world) if vid in world else 0

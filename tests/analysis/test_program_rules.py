@@ -76,7 +76,7 @@ def test_program_rule_registry_is_complete():
     assert set(PROGRAM_RULES) == {
         "blocking-call-in-async", "lock-held-across-await",
         "coroutine-shared-mutable-global", "nondeterministic-iteration",
-        "rng-taint", "cross-process-rng",
+        "rng-taint", "cross-process-rng", "quadratic-neighbor-scan",
     }
     for rule_id, rule in PROGRAM_RULES.items():
         assert rule.id == rule_id

@@ -1,0 +1,100 @@
+"""M=1 fleet bit-compat: golden single-AV trace through both paths.
+
+``tests/decision/golden_single_av_trace.json`` was recorded by
+``scripts/record_fleet_golden.py`` *before* the fleet refactor replaced
+the engine's neighbor scans with :class:`~repro.sim.spatial.SpatialHash`
+kernels and batched fleet perception.  This suite replays the scripted
+episode through
+
+1. the classic single-AV :class:`~repro.decision.environment.DrivingEnv`
+   (the refactor must not have moved a single bit), and
+2. a one-vehicle :class:`~repro.decision.fleet.FleetEnv` (the fleet
+   path must be indistinguishable from the classic one at M=1),
+
+comparing every step's world digest, augmented-state digest, reward
+total and step-record fields as recorded ``float.hex()`` values --
+exact equality, no tolerances.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+REPO = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "scripts"))
+
+from record_fleet_golden import (OUT, SEED, hex_or_none,  # noqa: E402
+                                 record_trace, scripted_action,
+                                 state_digest, world_digest)
+from repro.decision.fleet import FleetEnv  # noqa: E402
+from repro.perception.lstgat import LSTGAT  # noqa: E402
+from repro.perception.module import EnhancedPerception  # noqa: E402
+from repro.perception.sensor import Sensor  # noqa: E402
+from repro.seeding import default_generator  # noqa: E402
+from repro.sim.road import Road  # noqa: E402
+
+GOLDEN = json.loads(OUT.read_text())
+
+
+def test_driving_env_reproduces_golden_trace():
+    """Re-recording the trace today yields the pre-refactor bytes."""
+    assert record_trace() == GOLDEN
+
+
+def test_fleet_env_m1_matches_golden_trace():
+    """A one-AV fleet episode replays the classic rollout bit for bit."""
+    predictor = LSTGAT(attention_dim=32, lstm_dim=32, history_steps=5,
+                       rng=default_generator(GOLDEN["predictor_seed"]))
+    perception = EnhancedPerception(predictor=predictor, sensor=Sensor())
+    env = FleetEnv([perception], road=Road(length=GOLDEN["road_length"]),
+                   density_per_km=GOLDEN["density_per_km"],
+                   max_steps=GOLDEN["steps"])
+    assert env.av_ids == ["av"]
+    states = env.reset(SEED)
+    assert state_digest(states["av"]) == GOLDEN["initial_state_digest"]
+    assert world_digest(env.engine) == GOLDEN["initial_world_digest"]
+    av = env.av("av")
+    assert [av.lane, av.lon.hex(), av.v.hex()] == GOLDEN["av_spawn"]
+
+    for step, golden in enumerate(GOLDEN["records"]):
+        av = env.av("av")
+        action = scripted_action(step, av.lane, env.road)
+        assert [action.behavior.value,
+                float(action.accel).hex()] == golden["action"]
+        states, breakdowns, done, records = env.step({"av": action})
+        record = records["av"]
+        assert float(breakdowns["av"].total).hex() == golden["reward_total"]
+        assert float(record.av_velocity).hex() == golden["av_velocity"]
+        assert float(record.av_accel).hex() == golden["av_accel"]
+        assert float(record.av_jerk).hex() == golden["av_jerk"]
+        assert hex_or_none(record.ttc) == golden["ttc"]
+        assert hex_or_none(record.rear_velocity_drop) \
+            == golden["rear_velocity_drop"]
+        assert record.impact_event == golden["impact_event"]
+        assert record.collided == golden["collided"]
+        assert list(record.trailing_ids) == golden["trailing_ids"]
+        assert hex_or_none(record.trailing_mean_velocity) \
+            == golden["trailing_mean_velocity"]
+        assert world_digest(env.engine) == golden["world_digest"]
+        if golden["state_digest"] is None:
+            assert not states
+        else:
+            assert state_digest(states["av"]) == golden["state_digest"]
+        assert done == golden["done"]
+        if done:
+            break
+
+    result = env.result()
+    assert result.finished == (1 if GOLDEN["finished"] else 0)
+    assert result.collisions == (1 if GOLDEN["collided"] else 0)
+    assert result.av_av_collisions == 0
+
+
+def test_golden_trace_is_nontrivial():
+    """The frozen trace must actually exercise the contract."""
+    assert len(GOLDEN["records"]) >= 30
+    behaviors = {record["action"][0] for record in GOLDEN["records"]}
+    assert len(behaviors) >= 2, "trace never changes lane"
+    assert any(record["trailing_ids"] for record in GOLDEN["records"])
+    assert any(record["ttc"] is not None for record in GOLDEN["records"])

@@ -101,3 +101,38 @@ def test_networkx_export_42_nodes_48_edges(road):
 
 def test_output_scale_consistent_with_relative_scale():
     assert np.allclose(OUTPUT_SCALE, RELATIVE_SCALE[:3])
+
+
+def test_build_graphs_batched_equals_per_scene(road):
+    """Stacked fleet featurization is independent of batch composition."""
+    from repro.perception.graph import build_graphs
+
+    scenes = [
+        make_scene(road, {"front": state(3, 5020.0)}),
+        make_scene(road, {"left": state(2, 4990.0, 8.0),
+                          "right": state(4, 5015.0, 12.0)}),
+        make_scene(road, {}),
+    ]
+    batched = build_graphs(scenes, road)
+    assert len(batched) == len(scenes)
+    for scene, graph in zip(scenes, batched):
+        alone = build_graph(scene, road)
+        np.testing.assert_array_equal(graph.target_features,
+                                      alone.target_features)
+        np.testing.assert_array_equal(graph.contributor_features,
+                                      alone.contributor_features)
+        np.testing.assert_array_equal(graph.target_mask, alone.target_mask)
+        np.testing.assert_array_equal(graph.ego_features, alone.ego_features)
+
+
+def test_build_graphs_empty_and_mismatched(road):
+    from repro.perception.graph import build_graphs
+
+    assert build_graphs([], road) == []
+    short_buffer = ObservationBuffer(history_steps=Z - 1)
+    short_buffer.update({})
+    short = build_scene("ego", [state(3, 5000.0, 10.0)] * (Z - 1),
+                        short_buffer, road, detection_range=100.0)
+    full = make_scene(road, {"front": state(3, 5020.0)})
+    with pytest.raises(ValueError, match="history length"):
+        build_graphs([full, short], road)

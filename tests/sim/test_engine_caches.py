@@ -1,0 +1,90 @@
+"""Population-generation caches: reuse while stable, rebuild on change.
+
+``active_vehicles()`` and ``_static_arrays()`` are O(N log N) / O(N)
+gathers that the fleet step would otherwise repeat for every AV; the
+engine memoizes both behind ``_generation``, which bumps on every
+add/remove/discard.  These tests pin the caching contract: identical
+objects back while the population is unchanged, correct fresh values
+after any population edit, and no staleness across engine steps.
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.road import Road
+from repro.sim.vehicle import Vehicle, VehicleState
+
+
+def make_engine(count=5):
+    engine = SimulationEngine(road=Road(length=1000.0))
+    for index in range(count):
+        engine.add_vehicle(Vehicle(
+            vid=f"v{index}",
+            state=VehicleState(lat=1 + index % 3, lon=50.0 * index, v=15.0)))
+    return engine
+
+
+def test_active_vehicles_cached_until_population_changes():
+    engine = make_engine()
+    first = engine.active_vehicles()
+    assert engine.active_vehicles() is first
+    assert [vehicle.vid for vehicle in first] == sorted(engine.vehicles)
+
+    engine.add_vehicle(Vehicle(vid="extra",
+                               state=VehicleState(lat=2, lon=999.0, v=10.0)))
+    second = engine.active_vehicles()
+    assert second is not first
+    assert [vehicle.vid for vehicle in second] == sorted(engine.vehicles)
+
+
+def test_remove_and_discard_invalidate_active_cache():
+    engine = make_engine()
+    before = engine.active_vehicles()
+    engine.remove_vehicle("v1")
+    after_remove = engine.active_vehicles()
+    assert after_remove is not before
+    assert "v1" not in [vehicle.vid for vehicle in after_remove]
+    assert "v1" in engine.retired
+
+    engine.discard_vehicle("v2")
+    after_discard = engine.active_vehicles()
+    assert after_discard is not after_remove
+    assert "v2" not in [vehicle.vid for vehicle in after_discard]
+    assert "v2" not in engine.retired  # discarded, not "finished"
+
+
+def test_static_arrays_cached_and_rebuilt():
+    engine = make_engine()
+    vehicles = engine.active_vehicles()
+    first = engine._static_arrays(vehicles)
+    assert engine._static_arrays(vehicles) is first
+    lengths, is_av, v_floor, not_av, has_av = first
+    assert lengths.shape == is_av.shape == (len(vehicles),)
+    assert not has_av
+    assert not_av.all()
+    assert (v_floor == 0.0).all()
+
+    engine.add_vehicle(Vehicle(vid="av",
+                               state=VehicleState(lat=3, lon=900.0, v=20.0),
+                               is_autonomous=True))
+    vehicles = engine.active_vehicles()
+    second = engine._static_arrays(vehicles)
+    assert second is not first
+    lengths, is_av, v_floor, not_av, has_av = second
+    assert has_av
+    assert is_av.sum() == 1
+    row = [vehicle.vid for vehicle in vehicles].index("av")
+    assert is_av[row]
+    assert v_floor[row] == engine.road.v_min
+
+
+def test_stepping_never_serves_stale_population():
+    """Retirements during step() must invalidate the caches."""
+    engine = make_engine()
+    for _ in range(400):
+        engine.step()
+        vehicles = engine.active_vehicles()
+        assert [vehicle.vid for vehicle in vehicles] == sorted(engine.vehicles)
+        arrays = engine._static_arrays(vehicles)
+        assert arrays[0].shape[0] == len(vehicles)
+        if not engine.vehicles:
+            break
+    assert engine.retired  # the short road actually exercised removal
